@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's figures (or an ablation) and
+writes its textual report to ``benchmarks/output/``, so that a full
+``pytest benchmarks/ --benchmark-only`` run leaves behind the complete set of
+paper-vs-measured artefacts referenced by EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+#: Directory where benchmark reports are written.
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    """The benchmark report directory (created on demand)."""
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    return OUTPUT_DIR
+
+
+@pytest.fixture(scope="session")
+def write_report(report_dir: Path):
+    """A callable saving a named report and echoing it to the terminal."""
+
+    def _write(name: str, text: str) -> Path:
+        path = report_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n{text}\n[report saved to {path}]")
+        return path
+
+    return _write

@@ -1,0 +1,67 @@
+"""Ablation: pairs per DAIET packet vs packet counts and the parser budget.
+
+The paper limits packets to ~10 pairs because hardware parsers inspect only
+the first 200-300 bytes of each packet. This sweep varies the pair count,
+showing the packet-count overhead of small packets and that configurations
+beyond the parse budget are rejected by the switch model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.reporting import render_comparison_table
+from repro.core.config import DaietConfig
+from repro.core.errors import ResourceExhaustedError
+from repro.experiments.figure3_wordcount import Figure3Settings, run_transport
+from repro.mapreduce.shuffle import DaietShuffle
+from repro.mapreduce.wordcount import generate_corpus
+
+#: Pair counts that fit the 300-byte parse budget (headers + preamble + pairs).
+PAIRS_SWEEP = [2, 5, 10, 12]
+
+SETTINGS = Figure3Settings(
+    num_workers=6,
+    num_mappers=12,
+    num_reducers=6,
+    total_words=40_000,
+    vocabulary_size=4_000,
+)
+
+
+def _sweep():
+    corpus = generate_corpus(SETTINGS.corpus_spec())
+    splits = corpus.splits(SETTINGS.num_mappers)
+    rows = []
+    for pairs_per_packet in PAIRS_SWEEP:
+        config = DaietConfig(pairs_per_packet=pairs_per_packet)
+        result = run_transport(SETTINGS, DaietShuffle(config=config), splits)
+        assert result.output == corpus.word_counts()
+        rows.append((pairs_per_packet, result.total_reducer_packets(),
+                     result.total_reducer_bytes()))
+    return corpus, splits, rows
+
+
+def test_ablation_pairs_per_packet(benchmark, write_report):
+    corpus, splits, rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report = render_comparison_table(
+        "Ablation: pairs per packet vs reducer packet count",
+        [
+            (f"{pairs} pairs/packet", f"{packets} packets", f"{nbytes} bytes")
+            for pairs, packets, nbytes in rows
+        ],
+        headers=("configuration", "packets at reducers", "bytes at reducers"),
+    )
+    write_report("ablation_pairs_per_packet", report)
+
+    packets = [p for _, p, _ in rows]
+    # Fewer pairs per packet -> strictly more packets for the same data.
+    assert packets == sorted(packets, reverse=True)
+    assert packets[0] > 2 * packets[-1]
+
+    # Beyond the parse budget (~14 fixed-size pairs after the headers), the
+    # switch parser rejects the packet: the configuration is infeasible on the
+    # modelled hardware.
+    too_wide = DaietConfig(pairs_per_packet=15)
+    with pytest.raises(ResourceExhaustedError):
+        run_transport(SETTINGS, DaietShuffle(config=too_wide), splits)

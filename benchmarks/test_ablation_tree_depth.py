@@ -1,0 +1,78 @@
+"""Ablation: single-switch vs multi-level aggregation trees.
+
+The paper evaluates a single bmv2 switch; its design, however, builds spanning
+aggregation trees over arbitrary fabrics. This ablation runs the same WordCount
+job on a single rack and on a two-tier leaf-spine fabric and compares the total
+traffic carried by the network links: with multi-level trees, leaf switches
+aggregate rack-local pairs before they ever cross the spine.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import render_comparison_table
+from repro.baselines.udp_shuffle import UdpShuffle
+from repro.core.config import DaietConfig
+from repro.mapreduce.cluster import build_cluster, default_placement
+from repro.mapreduce.master import MapReduceMaster
+from repro.mapreduce.shuffle import DaietShuffle
+from repro.mapreduce.wordcount import CorpusSpec, generate_corpus, make_wordcount_job
+
+NUM_WORKERS = 8
+NUM_MAPPERS = 16
+NUM_REDUCERS = 8
+
+CORPUS = CorpusSpec(
+    total_words=40_000, vocabulary_size=4_000, num_partitions=NUM_REDUCERS, seed=7
+)
+
+
+def _run(fabric: str, shuffle_factory):
+    corpus = generate_corpus(CORPUS)
+    cluster = build_cluster(num_workers=NUM_WORKERS, fabric=fabric, workers_per_leaf=4, spines=2)
+    spec = make_wordcount_job(num_mappers=NUM_MAPPERS, num_reducers=NUM_REDUCERS)
+    placement = default_placement(cluster, NUM_MAPPERS, NUM_REDUCERS)
+    master = MapReduceMaster(cluster, spec, shuffle_factory(), placement)
+    result = master.run(corpus.splits(NUM_MAPPERS))
+    assert result.output == corpus.word_counts()
+    return result, cluster.simulator.stats.total_link_bytes(), cluster.simulator.stats.total_link_packets()
+
+
+def _sweep():
+    config = DaietConfig(register_slots=8192)
+    rows = {}
+    for fabric in ("single_rack", "leaf_spine"):
+        rows[(fabric, "daiet")] = _run(fabric, lambda: DaietShuffle(config=config))
+        rows[(fabric, "udp")] = _run(fabric, lambda: UdpShuffle(config=config))
+    return rows
+
+
+def test_ablation_tree_depth(benchmark, write_report):
+    rows = benchmark.pedantic(_sweep, rounds=1, iterations=1)
+    report = render_comparison_table(
+        "Ablation: aggregation-tree depth (total link traffic, DAIET vs UDP baseline)",
+        [
+            (
+                f"{fabric} / {mode}",
+                f"{link_bytes} link bytes",
+                f"{link_packets} link packets",
+            )
+            for (fabric, mode), (_result, link_bytes, link_packets) in sorted(rows.items())
+        ],
+        headers=("fabric / shuffle", "link bytes", "link packets"),
+    )
+    write_report("ablation_tree_depth", report)
+
+    for fabric in ("single_rack", "leaf_spine"):
+        daiet_result, daiet_bytes, _ = rows[(fabric, "daiet")]
+        udp_result, udp_bytes, _ = rows[(fabric, "udp")]
+        # In-network aggregation reduces both what reducers receive and what
+        # the fabric carries, on every topology.
+        assert daiet_result.total_reducer_bytes() < 0.4 * udp_result.total_reducer_bytes()
+        assert daiet_bytes < udp_bytes
+
+    # The deeper fabric has more hops, so the UDP baseline pays proportionally
+    # more link traffic than DAIET does: the relative fabric-level saving of
+    # in-network aggregation grows with tree depth.
+    single_saving = 1 - rows[("single_rack", "daiet")][1] / rows[("single_rack", "udp")][1]
+    spine_saving = 1 - rows[("leaf_spine", "daiet")][1] / rows[("leaf_spine", "udp")][1]
+    assert spine_saving >= single_saving - 0.05

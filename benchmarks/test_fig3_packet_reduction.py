@@ -1,0 +1,37 @@
+"""Figure 3 (right): packet-count reduction at the reducers.
+
+Paper: DAIET reduces the number of packets received by the reducers by
+88.1%-90.5% (median 90.5%) relative to the UDP/DAIET-protocol baseline without
+in-network aggregation, and still by a median ≈42% relative to the TCP
+baseline (whose segments pack many pairs each).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3_wordcount import (
+    PAPER_PACKETS_VS_TCP_MEDIAN,
+    PAPER_PACKETS_VS_UDP,
+    Figure3Settings,
+    run_figure3,
+)
+
+SETTINGS = Figure3Settings()
+
+
+def test_figure3_packet_reduction(benchmark, write_report):
+    result = benchmark.pedantic(lambda: run_figure3(SETTINGS), rounds=1, iterations=1)
+    write_report("fig3_packet_reduction", result.report)
+
+    vs_udp = result.boxplots["Packets reduction (vs UDP baseline)"]
+    vs_tcp = result.boxplots["Packets reduction (vs TCP baseline)"]
+
+    # Against the UDP baseline the reduction is close to the achievable
+    # vocabulary/corpus ratio (paper band 88.1%-90.5%).
+    low, high = PAPER_PACKETS_VS_UDP
+    assert low - 0.03 <= vs_udp.median <= high + 0.03
+
+    # Against TCP the reduction is far smaller but clearly positive
+    # (paper median ≈42%).
+    assert 0.2 <= vs_tcp.median <= 0.6
+    assert abs(vs_tcp.median - PAPER_PACKETS_VS_TCP_MEDIAN) < 0.15
+    assert vs_tcp.median < vs_udp.median - 0.3

@@ -1,0 +1,38 @@
+"""Figure 3 (left): data-volume and reduce-time reduction at the reducers.
+
+Paper: WordCount over 12 workers (24 mappers, 12 reducers) behind one switch;
+DAIET reduces the intermediate data received by the reducers by 86.9%-89.3%
+and the reduce-phase execution time by 83.6% (median), both relative to the
+original TCP-based exchange.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure3_wordcount import (
+    PAPER_DATA_VOLUME_REDUCTION,
+    PAPER_REDUCE_TIME_MEDIAN,
+    Figure3Settings,
+    run_figure3,
+)
+
+SETTINGS = Figure3Settings()
+
+
+def test_figure3_data_volume_and_reduce_time(benchmark, write_report):
+    result = benchmark.pedantic(lambda: run_figure3(SETTINGS), rounds=1, iterations=1)
+    write_report("fig3_wordcount_reduction", result.report)
+
+    volume = result.boxplots["Data volume reduction (vs TCP)"]
+    reduce_time = result.boxplots["Reduce time reduction (vs TCP)"]
+
+    # Correctness first: all transports computed identical WordCount output.
+    assert result.daiet.output == result.tcp.output == result.udp.output
+
+    # Data volume reduction lands in (or within two points of) the paper band.
+    low, high = PAPER_DATA_VOLUME_REDUCTION
+    assert low - 0.03 <= volume.median <= high + 0.03
+    assert volume.maximum - volume.minimum < 0.05
+
+    # Reduce time falls roughly as much as the data volume (paper: 83.6%).
+    assert reduce_time.median > PAPER_REDUCE_TIME_MEDIAN - 0.15
+    assert reduce_time.median <= 1.0

@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Traffic-reduction potential of graph analytics (Figure 1c).
+
+Runs PageRank, SSSP and WCC on a scaled LiveJournal-like power-law graph over
+the Pregel substrate and prints, for every iteration, how much message traffic
+would disappear if messages to the same destination vertex were combined
+inside the network.
+
+Run with:  python examples/graph_analytics.py [--vertices N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments.figure1_graph import Figure1GraphSettings, run_figure1c
+from repro.graph.pregel import run_with_combiner_check
+from repro.graph.algorithms import PageRankProgram
+from repro.graph.generators import livejournal_like
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vertices", type=int, default=10_000, help="graph size")
+    args = parser.parse_args()
+
+    settings = Figure1GraphSettings(num_vertices=args.vertices)
+    print(f"generating a LiveJournal-like graph with {args.vertices} vertices...")
+    result = run_figure1c(settings)
+    print(f"graph: {result.graph_vertices} vertices, {result.graph_edges} edges "
+          f"(average degree {2 * result.graph_edges / result.graph_vertices:.1f})")
+    print()
+    print(result.report)
+    print()
+    for name, pregel_result in result.results.items():
+        trace = pregel_result.trace
+        print(f"  {name:<9s}: {pregel_result.supersteps_run} supersteps, "
+              f"{trace.total_messages()} messages, "
+              f"peak reduction {max(result.reduction_series(name)):.1%}")
+
+    # Correctness: applying the combiner (what the switch would do) leaves the
+    # algorithm's results untouched. Demonstrated here for PageRank.
+    print()
+    print("verifying that per-destination combining does not change PageRank...")
+    small = livejournal_like(num_vertices=2_000, seed=settings.seed)
+    run_with_combiner_check(small, lambda: PageRankProgram(num_iterations=5), max_supersteps=6)
+    print("OK: combined and uncombined runs produce identical ranks")
+
+
+if __name__ == "__main__":
+    main()

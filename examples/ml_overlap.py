@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Tensor-update overlap of parameter-server training (Figures 1a and 1b).
+
+Trains the soft-max model with one parameter server and five workers, once
+with mini-batch SGD (batch size 3) and once with Adam (batch size 100), and
+measures at every step how many tensor elements are updated by more than one
+worker — the redundancy an in-network aggregation service could remove.
+
+Run with:  python examples/ml_overlap.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+from statistics import mean
+
+from repro.experiments.figure1_ml import (
+    PAPER_ADAM_OVERLAP_PERCENT,
+    PAPER_SGD_OVERLAP_PERCENT,
+    Figure1MlSettings,
+    run_figure1_ml,
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=60, help="training steps per optimizer")
+    args = parser.parse_args()
+
+    settings = Figure1MlSettings(num_steps=args.steps, dataset_samples=4_000)
+    print(f"training 2 x {args.steps} steps with {settings.num_workers} workers...")
+    result = run_figure1_ml(settings)
+
+    print()
+    print(result.report)
+    print()
+    summary = result.summary()
+    print("averages (paper reference in brackets):")
+    print(f"  SGD  (mini-batch 3)  : {summary['sgd_average_overlap_percent']:.1f}% "
+          f"[{PAPER_SGD_OVERLAP_PERCENT}%]")
+    print(f"  Adam (mini-batch 100): {summary['adam_average_overlap_percent']:.1f}% "
+          f"[{PAPER_ADAM_OVERLAP_PERCENT}%]")
+    print()
+    sgd_reduction = mean(result.sgd.server_traffic_reduction)
+    adam_reduction = mean(result.adam.server_traffic_reduction)
+    print("traffic the parameter server would NOT have to receive if the "
+          "updates were summed in the network:")
+    print(f"  SGD : {sgd_reduction:.1%} of update elements")
+    print(f"  Adam: {adam_reduction:.1%} of update elements")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Distributed training with gradient aggregation offloaded to the network.
+
+The paper's measurement study (Figure 1a/b) motivates aggregating ML parameter
+updates in the network but DAIET's prototype only demonstrates MapReduce. This
+example closes the loop: it runs a few steps of synchronous data-parallel
+training in which the workers' sparse gradient updates are encoded as DAIET
+key-value pairs (key = tensor element, value = fixed-point delta), summed by
+the simulated programmable switch, and decoded at the parameter-server host —
+then verifies the resulting model matches host-side aggregation.
+
+Run with:  python examples/ml_training_daiet.py [--steps N]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+import numpy as np
+
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.mlsys.datasets import generate_synthetic_mnist
+from repro.mlsys.model import GradientUpdate, SoftmaxModel
+from repro.mlsys.optimizers import SGD
+from repro.mlsys.parameter_server import ParameterServer
+from repro.mlsys.sparse import from_key_value_pairs, sparsify, to_key_value_pairs
+from repro.mlsys.worker import Worker
+
+NUM_WORKERS = 3
+BATCH_SIZE = 8
+QUANT_SCALE = 1 << 20
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=5, help="training steps to run")
+    args = parser.parse_args()
+
+    dataset = generate_synthetic_mnist(num_samples=1_500, seed=1)
+    model = SoftmaxModel(num_features=dataset.num_features, num_classes=dataset.num_classes, seed=1)
+    shapes = {name: tensor.shape for name, tensor in model.parameters.items()}
+
+    # Two parameter servers: one fed through the network (DAIET), one fed
+    # directly (reference), so we can verify equivalence step by step.
+    ps_daiet = ParameterServer(model.get_parameters(), SGD(learning_rate=0.1))
+    ps_reference = ParameterServer(model.get_parameters(), SGD(learning_rate=0.1))
+    workers = [
+        Worker(worker_id=i, dataset=dataset.shard(NUM_WORKERS, i), batch_size=BATCH_SIZE, seed=1)
+        for i in range(NUM_WORKERS)
+    ]
+
+    # The cluster: worker hosts h0..h2, the parameter server on h3.
+    config = DaietConfig(register_slots=16_384)
+    system = DaietSystem.single_rack(num_hosts=NUM_WORKERS + 1, config=config)
+    worker_hosts = [f"h{i}" for i in range(NUM_WORKERS)]
+    ps_host = f"h{NUM_WORKERS}"
+
+    for step in range(args.steps):
+        # A fresh aggregation round: one tree per step keeps the example simple
+        # (a production deployment would reuse the tree and rely on END-driven
+        # flushing exactly as this does).
+        job = system.install_job(mappers=worker_hosts, reducers=[ps_host], function="sum")
+        tree = job.tree_for_reducer(ps_host)
+
+        parameters = ps_daiet.pull()
+        updates = [worker.compute_update(parameters, step) for worker in workers]
+
+        # Workers: sparsify, quantize, packetize, send through the switch.
+        for host, update in zip(worker_hosts, updates):
+            pairs = to_key_value_pairs(sparsify(update), scale=QUANT_SCALE)
+            system.send_pairs(host, ps_host, pairs)
+        system.run()
+
+        # Parameter server: decode the (already network-aggregated) pairs.
+        receiver = system.receiver(ps_host)
+        assert receiver.done
+        aggregated_pairs = list(receiver.result().items())
+        summed = from_key_value_pairs(aggregated_pairs, shapes, scale=QUANT_SCALE)
+        averaged = {name: grad / NUM_WORKERS for name, grad in summed.items()}
+        ps_daiet.push([GradientUpdate(gradients=averaged, num_samples=BATCH_SIZE * NUM_WORKERS)])
+
+        # Reference path: the server sums the raw worker updates itself.
+        ps_reference.push(updates)
+
+        drift = max(
+            float(np.max(np.abs(ps_daiet.parameters()[name] - ps_reference.parameters()[name])))
+            for name in shapes
+        )
+        in_pairs = sum(len(to_key_value_pairs(sparsify(u), scale=QUANT_SCALE)) for u in updates)
+        print(
+            f"step {step}: workers sent {in_pairs} update elements, "
+            f"PS received {receiver.counters.pairs} after in-network aggregation "
+            f"({1 - receiver.counters.pairs / in_pairs:.1%} reduction); "
+            f"max parameter drift vs reference = {drift:.2e}"
+        )
+        assert drift < 1e-4, "quantized in-network aggregation diverged from the reference"
+
+    print()
+    print("OK: in-network gradient aggregation matches host-side aggregation "
+          "(up to fixed-point quantization).")
+
+
+if __name__ == "__main__":
+    main()

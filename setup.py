@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package, so
+PEP-517 editable installs cannot build. This shim lets ``pip install -e .``
+fall back to the classic ``setup.py develop`` path (pip is configured with
+``no-use-pep517`` in ``~/.config/pip/pip.conf``). All project metadata lives
+in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

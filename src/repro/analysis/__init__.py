@@ -1,0 +1,31 @@
+"""Metrics and reporting helpers used by the benchmark harness."""
+
+from repro.analysis.metrics import (
+    BoxplotStats,
+    MetricsError,
+    per_reducer_reduction,
+    percentile,
+    reduction_boxplot,
+    reduction_ratio,
+)
+from repro.analysis.reporting import (
+    format_percent,
+    render_boxplot_table,
+    render_comparison_table,
+    render_series_table,
+    render_summary_row,
+)
+
+__all__ = [
+    "BoxplotStats",
+    "MetricsError",
+    "per_reducer_reduction",
+    "percentile",
+    "reduction_boxplot",
+    "reduction_ratio",
+    "format_percent",
+    "render_boxplot_table",
+    "render_comparison_table",
+    "render_series_table",
+    "render_summary_row",
+]

@@ -1,0 +1,121 @@
+"""Reduction metrics and box-plot statistics used by the benchmark harness.
+
+Figure 3 of the paper is a box plot of the per-reducer reduction (in data
+volume, reduce time and packet count) of DAIET relative to the baselines. The
+helpers here compute those per-reducer reduction distributions and their
+box-plot summary (min, quartiles, median, max), so every benchmark prints the
+same kind of rows the paper reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from statistics import mean, median
+from typing import Sequence
+
+from repro.core.errors import ReproError
+from repro.mapreduce.job import JobResult
+
+
+class MetricsError(ReproError):
+    """Raised when a metric cannot be computed from the provided inputs."""
+
+
+def reduction_ratio(baseline: float, value: float) -> float:
+    """Fractional reduction of ``value`` relative to ``baseline``.
+
+    Positive means ``value`` is smaller than the baseline; 0.869 reads as a
+    86.9% reduction.
+    """
+    if baseline <= 0:
+        raise MetricsError(f"baseline must be positive, got {baseline}")
+    return 1.0 - value / baseline
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolated percentile (``fraction`` in [0, 1])."""
+    if not values:
+        raise MetricsError("cannot take a percentile of an empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise MetricsError("fraction must lie in [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return float(ordered[0])
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    # Formulated as lower + weight * (upper - lower) so the result is always
+    # bounded by the two neighbouring order statistics even for values where
+    # naive interpolation would lose precision (e.g. subnormals).
+    return float(ordered[lower] + weight * (ordered[upper] - ordered[lower]))
+
+
+@dataclass(frozen=True)
+class BoxplotStats:
+    """Five-number summary (plus mean) of a distribution."""
+
+    minimum: float
+    q1: float
+    median: float
+    q3: float
+    maximum: float
+    mean: float
+    count: int
+
+    @classmethod
+    def from_values(cls, values: Sequence[float]) -> "BoxplotStats":
+        """Summarize a sequence of observations."""
+        if not values:
+            raise MetricsError("cannot summarize an empty sequence")
+        return cls(
+            minimum=float(min(values)),
+            q1=percentile(values, 0.25),
+            median=float(median(values)),
+            q3=percentile(values, 0.75),
+            maximum=float(max(values)),
+            mean=float(mean(values)),
+            count=len(values),
+        )
+
+    def as_percent(self) -> "BoxplotStats":
+        """The same summary scaled by 100 (fractions -> percentages)."""
+        return BoxplotStats(
+            minimum=self.minimum * 100.0,
+            q1=self.q1 * 100.0,
+            median=self.median * 100.0,
+            q3=self.q3 * 100.0,
+            maximum=self.maximum * 100.0,
+            mean=self.mean * 100.0,
+            count=self.count,
+        )
+
+
+def per_reducer_reduction(
+    treatment: JobResult,
+    baseline: JobResult,
+    metric: str,
+) -> list[float]:
+    """Per-reducer reduction of ``metric`` in ``treatment`` vs ``baseline``.
+
+    ``metric`` is the name of a :class:`~repro.mapreduce.job.ReducerMetrics`
+    field, e.g. ``"payload_bytes_received"``, ``"packets_received"`` or
+    ``"reduce_seconds"``.
+    """
+    if set(treatment.reducer_metrics) != set(baseline.reducer_metrics):
+        raise MetricsError("treatment and baseline ran different reducer sets")
+    reductions: list[float] = []
+    for reducer_id in sorted(treatment.reducer_metrics):
+        base_value = getattr(baseline.reducer_metrics[reducer_id], metric)
+        treat_value = getattr(treatment.reducer_metrics[reducer_id], metric)
+        reductions.append(reduction_ratio(float(base_value), float(treat_value)))
+    return reductions
+
+
+def reduction_boxplot(
+    treatment: JobResult,
+    baseline: JobResult,
+    metric: str,
+) -> BoxplotStats:
+    """Box-plot summary of the per-reducer reduction of one metric."""
+    return BoxplotStats.from_values(per_reducer_reduction(treatment, baseline, metric))

@@ -1,0 +1,99 @@
+"""Plain-text rendering of the paper's figures.
+
+The benchmark harness regenerates every figure as text: a per-step/-iteration
+series for Figure 1 and box-plot rows for Figure 3. Keeping the renderers here
+(rather than inside the benchmarks) lets the examples print the same reports.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.analysis.metrics import BoxplotStats
+
+
+def format_percent(value: float, decimals: int = 1) -> str:
+    """Format a fraction (0.869) or percentage (86.9) consistently as percent."""
+    percent = value * 100.0 if -1.0 <= value <= 1.0 else value
+    return f"{percent:.{decimals}f}%"
+
+
+def render_series_table(
+    title: str,
+    series: Mapping[str, Sequence[float]],
+    index_label: str = "step",
+    as_percent: bool = True,
+    max_rows: int | None = 20,
+) -> str:
+    """Render one or more aligned numeric series as a text table.
+
+    Used for Figure 1(a,b) (overlap per step) and Figure 1(c) (traffic
+    reduction per iteration).
+    """
+    names = list(series)
+    if not names:
+        return f"{title}\n(no data)"
+    length = max(len(values) for values in series.values())
+    lines = [title, ""]
+    header = f"{index_label:>6s}  " + "  ".join(f"{name:>12s}" for name in names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    indices = range(length)
+    if max_rows is not None and length > max_rows:
+        step = max(1, length // max_rows)
+        indices = range(0, length, step)
+    for i in indices:
+        row = [f"{i:>6d}"]
+        for name in names:
+            values = series[name]
+            if i < len(values):
+                value = values[i]
+                text = format_percent(value) if as_percent else f"{value:.4f}"
+            else:
+                text = "-"
+            row.append(f"{text:>12s}")
+        lines.append("  ".join(row))
+    return "\n".join(lines)
+
+
+def render_summary_row(name: str, stats: BoxplotStats, paper_value: str = "") -> str:
+    """One Figure-3-style row: metric name, box-plot summary, paper reference."""
+    summary = (
+        f"min={stats.minimum:6.1f}%  q1={stats.q1:6.1f}%  median={stats.median:6.1f}%  "
+        f"q3={stats.q3:6.1f}%  max={stats.maximum:6.1f}%"
+    )
+    row = f"{name:<38s} {summary}"
+    if paper_value:
+        row += f"   [paper: {paper_value}]"
+    return row
+
+
+def render_boxplot_table(
+    title: str,
+    rows: Mapping[str, BoxplotStats],
+    paper_values: Mapping[str, str] | None = None,
+) -> str:
+    """Render the Figure 3 reduction box plots as text rows."""
+    paper_values = paper_values or {}
+    lines = [title, ""]
+    for name, stats in rows.items():
+        lines.append(render_summary_row(name, stats.as_percent(), paper_values.get(name, "")))
+    return "\n".join(lines)
+
+
+def render_comparison_table(
+    title: str,
+    rows: Sequence[tuple[str, str, str]],
+    headers: tuple[str, str, str] = ("experiment", "paper", "measured"),
+) -> str:
+    """A three-column paper-vs-measured table (used by EXPERIMENTS.md tooling)."""
+    widths = [
+        max(len(headers[i]), max((len(row[i]) for row in rows), default=0)) for i in range(3)
+    ]
+    lines = [title, ""]
+    header = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append("  ".join(row[i].ljust(widths[i]) for i in range(3)))
+    return "\n".join(lines)

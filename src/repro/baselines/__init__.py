@@ -1,0 +1,7 @@
+"""Comparison systems: the paper's two baselines plus worker-level aggregation."""
+
+from repro.baselines.host_aggregation import HostAggregationShuffle
+from repro.baselines.tcp_shuffle import TcpShuffle
+from repro.baselines.udp_shuffle import UdpShuffle
+
+__all__ = ["HostAggregationShuffle", "TcpShuffle", "UdpShuffle"]

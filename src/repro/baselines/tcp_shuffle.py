@@ -1,0 +1,101 @@
+"""Baseline (i): the original TCP-based data exchange.
+
+Each map task sends its sorted partition to each reducer as one TCP stream;
+the kernel segments it at the MSS, so a partition of ``n`` serialized bytes
+becomes ``ceil(n / MSS)`` large segments. Reducers receive one pre-sorted run
+per map task and merge them — no aggregation happens anywhere before the
+reduce function itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DEFAULT_TCP_MSS
+from repro.core.errors import JobError
+from repro.mapreduce.mapper import MapOutput
+from repro.mapreduce.shuffle import ShuffleTransport
+from repro.transport.packets import MessagePayload
+from repro.transport.tcp import TcpTransport
+
+#: Destination port reducers listen on for shuffle streams.
+SHUFFLE_PORT = 7070
+
+
+@dataclass
+class _TcpReducerBuffer:
+    """Sorted runs buffered for one reducer until the run completes."""
+
+    runs: list[list[tuple[str, int]]] = field(default_factory=list)
+    payload_bytes: int = 0
+    messages: int = 0
+
+
+class TcpShuffle(ShuffleTransport):
+    """The unmodified MapReduce shuffle over (modelled) TCP."""
+
+    name = "tcp"
+
+    def __init__(self, mss: int = DEFAULT_TCP_MSS) -> None:
+        super().__init__()
+        self.mss = mss
+        self.transport: TcpTransport | None = None
+        self._buffers: dict[int, _TcpReducerBuffer] = {}
+
+    def _prepare(self) -> None:
+        self.transport = TcpTransport(self.cluster.simulator, mss=self.mss)
+        for reducer_id, host in enumerate(self.placement.reducer_hosts):
+            buffer = _TcpReducerBuffer()
+            self._buffers[reducer_id] = buffer
+            self.transport.listen(host, SHUFFLE_PORT, self._make_listener(buffer))
+
+    @staticmethod
+    def _make_listener(buffer: _TcpReducerBuffer):
+        def on_message(src: str, payload: MessagePayload) -> None:
+            if payload.kind != "map_output":
+                return
+            buffer.runs.append(list(payload.data))
+            buffer.payload_bytes += payload.meta.get("serialized_bytes", 0)
+            buffer.messages += 1
+
+        return on_message
+
+    def transfer(self, map_outputs: list[MapOutput]) -> None:
+        if self.transport is None:
+            raise JobError("TcpShuffle.transfer() called before prepare()")
+        pair_bytes = self.spec.daiet.pair_bytes
+        for output in map_outputs:
+            for reducer_id, reducer_host in enumerate(self.placement.reducer_hosts):
+                pairs = output.sorted_partition(reducer_id)
+                if not pairs:
+                    continue
+                serialized_bytes = len(pairs) * pair_bytes
+                if output.host == reducer_host:
+                    self.reduce_task(reducer_id).add_sorted_run(pairs, from_network=False)
+                    self.accounting.local_pairs += len(pairs)
+                    continue
+                self.accounting.network_pairs += len(pairs)
+                payload = MessagePayload(
+                    kind="map_output",
+                    data=pairs,
+                    meta={
+                        "mapper_id": output.mapper_id,
+                        "serialized_bytes": serialized_bytes,
+                    },
+                )
+                segments = self.transport.send_message(
+                    src=output.host,
+                    dst=reducer_host,
+                    message_bytes=serialized_bytes,
+                    payload=payload,
+                    dport=SHUFFLE_PORT,
+                )
+                self.accounting.packets_sent += segments
+                self.accounting.payload_bytes_sent += serialized_bytes
+
+    def finalize(self) -> None:
+        for reducer_id, buffer in self._buffers.items():
+            task = self.reduce_task(reducer_id)
+            for run in buffer.runs:
+                task.add_sorted_run(run, from_network=True)
+            task.metrics.payload_bytes_received += buffer.payload_bytes

@@ -1,0 +1,102 @@
+"""Baseline (ii): UDP with the DAIET protocol but no in-network aggregation.
+
+Mappers packetize their partitions exactly like DAIET (small UDP packets with
+at most ten fixed-size pairs plus an END marker), but the switches merely
+forward the packets: no aggregation trees are installed. The reducer therefore
+receives the full, unordered intermediate data. This isolates the effect of the
+packet format (many small packets) from the effect of in-network aggregation,
+which is how the paper separates the two packet-count reductions in Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import DaietConfig
+from repro.core.errors import JobError
+from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
+from repro.mapreduce.mapper import MapOutput
+from repro.mapreduce.shuffle import ShuffleTransport
+
+
+@dataclass
+class _UdpReducerBuffer:
+    """Unsorted pairs buffered for one reducer."""
+
+    tree_id: int
+    expected_ends: int = 0
+    pairs: list[tuple[str, int]] = field(default_factory=list)
+    payload_bytes: int = 0
+    ends_seen: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.ends_seen >= self.expected_ends
+
+
+class UdpShuffle(ShuffleTransport):
+    """The DAIET wire protocol without any switch-side aggregation."""
+
+    name = "udp"
+
+    def __init__(self, config: DaietConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or DaietConfig()
+        self._buffers: dict[int, _UdpReducerBuffer] = {}
+
+    def _prepare(self) -> None:
+        # Tree ids are still assigned (the packet format requires one), but no
+        # controller state is installed, so the daiet_steer tables stay empty
+        # and every switch simply forwards by destination.
+        for reducer_id, host in enumerate(self.placement.reducer_hosts):
+            buffer = _UdpReducerBuffer(tree_id=reducer_id + 1)
+            self._buffers[reducer_id] = buffer
+            self.cluster.simulator.host(host).set_receiver(self._make_receiver(buffer))
+
+    @staticmethod
+    def _make_receiver(buffer: _UdpReducerBuffer):
+        def receive(packet) -> None:
+            if not isinstance(packet, DaietPacket) or packet.tree_id != buffer.tree_id:
+                return
+            buffer.payload_bytes += packet.payload_bytes()
+            if packet.packet_type is DaietPacketType.END:
+                buffer.ends_seen += 1
+                return
+            buffer.pairs.extend(packet.pairs)
+
+        return receive
+
+    def transfer(self, map_outputs: list[MapOutput]) -> None:
+        if not self._buffers:
+            raise JobError("UdpShuffle.transfer() called before prepare()")
+        for reducer_id, reducer_host in enumerate(self.placement.reducer_hosts):
+            buffer = self._buffers[reducer_id]
+            for mapper_host, pairs in self.pairs_by_host(map_outputs, reducer_id).items():
+                if mapper_host == reducer_host:
+                    self.reduce_task(reducer_id).add_unsorted_pairs(pairs, from_network=False)
+                    self.accounting.local_pairs += len(pairs)
+                    continue
+                buffer.expected_ends += 1
+                self.accounting.network_pairs += len(pairs)
+                for packet in packetize_pairs(
+                    pairs,
+                    tree_id=buffer.tree_id,
+                    src=mapper_host,
+                    dst=reducer_host,
+                    config=self.config,
+                    include_end=True,
+                ):
+                    self.cluster.simulator.send(mapper_host, packet)
+                    self.accounting.packets_sent += 1
+                    self.accounting.payload_bytes_sent += packet.payload_bytes()
+
+    def finalize(self) -> None:
+        for reducer_id, buffer in self._buffers.items():
+            if not buffer.done:
+                raise JobError(
+                    f"reducer {reducer_id} saw {buffer.ends_seen} END packets, "
+                    f"expected {buffer.expected_ends}"
+                )
+            task = self.reduce_task(reducer_id)
+            task.add_unsorted_pairs(buffer.pairs, from_network=True)
+            task.metrics.payload_bytes_received += buffer.payload_bytes

@@ -1,0 +1,135 @@
+"""Command-line front end: regenerate any of the paper's figures.
+
+Usage::
+
+    python -m repro fig1a [--quick]
+    python -m repro fig1b [--quick]
+    python -m repro fig1c [--quick] [--vertices N]
+    python -m repro fig3  [--quick]
+    python -m repro all   [--quick]
+
+Each subcommand runs the corresponding experiment runner from
+:mod:`repro.experiments` and prints the same textual report the benchmark
+harness writes to ``benchmarks/output/``.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.analysis.reporting import render_comparison_table
+from repro.experiments.figure1_graph import Figure1GraphSettings, run_figure1c
+from repro.experiments.figure1_ml import (
+    PAPER_ADAM_OVERLAP_PERCENT,
+    PAPER_SGD_OVERLAP_PERCENT,
+    Figure1MlSettings,
+    make_dataset,
+    run_figure1a,
+    run_figure1b,
+)
+from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+
+
+def _ml_settings(quick: bool) -> Figure1MlSettings:
+    settings = Figure1MlSettings()
+    return settings.quick() if quick else settings
+
+
+def _graph_settings(quick: bool, vertices: int | None) -> Figure1GraphSettings:
+    settings = Figure1GraphSettings()
+    if quick:
+        settings = settings.quick()
+    if vertices is not None:
+        settings = Figure1GraphSettings(
+            num_vertices=vertices,
+            average_degree=settings.average_degree,
+            num_workers=settings.num_workers,
+            iterations=settings.iterations,
+            sssp_source=settings.sssp_source,
+            seed=settings.seed,
+        )
+    return settings
+
+
+def run_fig1a(args: argparse.Namespace) -> str:
+    """Figure 1(a): SGD overlap."""
+    settings = _ml_settings(args.quick)
+    result = run_figure1a(settings, make_dataset(settings))
+    return render_comparison_table(
+        "Figure 1(a): SGD tensor-update overlap",
+        [("average overlap", f"{PAPER_SGD_OVERLAP_PERCENT}%", f"{result.average_overlap():.1f}%")],
+    )
+
+
+def run_fig1b(args: argparse.Namespace) -> str:
+    """Figure 1(b): Adam overlap."""
+    settings = _ml_settings(args.quick)
+    result = run_figure1b(settings, make_dataset(settings))
+    return render_comparison_table(
+        "Figure 1(b): Adam tensor-update overlap",
+        [("average overlap", f"{PAPER_ADAM_OVERLAP_PERCENT}%", f"{result.average_overlap():.1f}%")],
+    )
+
+
+def run_fig1c(args: argparse.Namespace) -> str:
+    """Figure 1(c): graph-analytics traffic reduction."""
+    settings = _graph_settings(args.quick, getattr(args, "vertices", None))
+    return run_figure1c(settings).report
+
+
+def run_fig3(args: argparse.Namespace) -> str:
+    """Figure 3: WordCount reductions."""
+    settings = Figure3Settings().quick() if args.quick else Figure3Settings()
+    return run_figure3(settings).report
+
+
+def run_all(args: argparse.Namespace) -> str:
+    """Every figure, back to back."""
+    parts = [run_fig1a(args), run_fig1b(args), run_fig1c(args), run_fig3(args)]
+    return "\n\n".join(parts)
+
+
+_COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
+    "fig1a": run_fig1a,
+    "fig1b": run_fig1b,
+    "fig1c": run_fig1c,
+    "fig3": run_fig3,
+    "all": run_all,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the figures of 'In-Network Computation is a Dumb Idea "
+        "Whose Time Has Come' (HotNets 2017).",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name, func in _COMMANDS.items():
+        sub = subparsers.add_parser(name, help=func.__doc__)
+        sub.add_argument(
+            "--quick",
+            action="store_true",
+            help="run at reduced scale (seconds instead of tens of seconds)",
+        )
+        if name in ("fig1c", "all"):
+            sub.add_argument(
+                "--vertices", type=int, default=None, help="graph size for Figure 1(c)"
+            )
+        sub.set_defaults(func=func)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point used by ``python -m repro`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    report = args.func(args)
+    print(report)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

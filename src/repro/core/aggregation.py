@@ -1,0 +1,290 @@
+"""In-switch aggregation engine (Algorithm 1 of the paper).
+
+For each aggregation tree a switch keeps two register arrays (keys and values)
+managed as a hash table with single-element buckets, an index stack of used
+slots, and a spillover bucket for colliding pairs. Each received DATA packet
+updates this state pair by pair; an END packet decrements the
+remaining-children counter and, when it reaches zero, the aggregated state is
+flushed towards the next node of the tree.
+
+:class:`DaietAggregationEngine` hosts the per-tree state of one switch and is
+plugged into the switch pipeline as an extern action by the controller.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.config import DaietConfig
+from repro.core.errors import AggregationError
+from repro.core.functions import AggregationFunction, get as get_function
+from repro.core.packet import DaietPacket, DaietPacketType, end_packet, packetize_pairs
+from repro.dataplane.actions import PacketContext
+from repro.dataplane.registers import IndexStack, RegisterArray, SpilloverBucket
+
+
+def hash_key(key: str | bytes, slots: int) -> int:
+    """Deterministic hash of a key into a register index.
+
+    CRC32 stands in for the hardware hash units of a programmable switch: it is
+    cheap, stable across processes (unlike Python's randomized ``hash``), and
+    spreads typical word keys evenly.
+    """
+    if slots <= 0:
+        raise AggregationError("slots must be positive")
+    data = key.encode() if isinstance(key, str) else bytes(key)
+    return zlib.crc32(data) % slots
+
+
+@dataclass
+class TreeCounters:
+    """Per-tree statistics exported to the evaluation harness."""
+
+    packets_received: int = 0
+    end_packets_received: int = 0
+    pairs_received: int = 0
+    pairs_aggregated: int = 0
+    pairs_inserted: int = 0
+    collisions: int = 0
+    spillover_flushes: int = 0
+    final_flushes: int = 0
+    packets_emitted: int = 0
+    pairs_emitted: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Counters as a plain dictionary."""
+        return dict(self.__dict__)
+
+
+@dataclass
+class TreeState:
+    """Per-tree aggregation state held in switch SRAM."""
+
+    tree_id: int
+    function: AggregationFunction
+    config: DaietConfig
+    num_children: int
+    egress_port: int
+    next_hop_dst: str
+    switch_name: str
+    key_register: RegisterArray = field(init=False)
+    value_register: RegisterArray = field(init=False)
+    index_stack: IndexStack = field(init=False)
+    spillover: SpilloverBucket = field(init=False)
+    remaining_children: int = field(init=False)
+    counters: TreeCounters = field(default_factory=TreeCounters)
+    _end_sources_seen: set[str] = field(default_factory=set, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.num_children <= 0:
+            raise AggregationError(
+                f"tree {self.tree_id} on switch {self.switch_name!r} must have "
+                "at least one child"
+            )
+        slots = self.config.register_slots
+        self.key_register = RegisterArray(slots, name=f"tree{self.tree_id}.keys")
+        self.value_register = RegisterArray(slots, name=f"tree{self.tree_id}.values")
+        self.index_stack = IndexStack(capacity=slots)
+        self.spillover = SpilloverBucket(capacity=self.config.effective_spillover_capacity)
+        self.remaining_children = self.num_children
+
+    def occupancy(self) -> int:
+        """Number of register slots currently holding an aggregated pair."""
+        return len(self.index_stack)
+
+    def rearm(self) -> None:
+        """Reset the tree state for the next aggregation round."""
+        self.key_register.reset()
+        self.value_register.reset()
+        self.index_stack.clear()
+        self.spillover.flush()
+        self.remaining_children = self.num_children
+        self._end_sources_seen.clear()
+
+
+class DaietAggregationEngine:
+    """The DAIET extern of one switch: per-tree state plus Algorithm 1."""
+
+    def __init__(self, switch_name: str) -> None:
+        self.switch_name = switch_name
+        self._trees: dict[int, TreeState] = {}
+
+    # ------------------------------------------------------------------ #
+    # Control-plane configuration
+    # ------------------------------------------------------------------ #
+    def configure_tree(
+        self,
+        tree_id: int,
+        function: AggregationFunction | str,
+        num_children: int,
+        egress_port: int,
+        next_hop_dst: str,
+        config: DaietConfig | None = None,
+    ) -> TreeState:
+        """Install (or replace) the state for one aggregation tree."""
+        if isinstance(function, str):
+            function = get_function(function)
+        state = TreeState(
+            tree_id=tree_id,
+            function=function,
+            config=config or DaietConfig(),
+            num_children=num_children,
+            egress_port=egress_port,
+            next_hop_dst=next_hop_dst,
+            switch_name=self.switch_name,
+        )
+        self._trees[tree_id] = state
+        return state
+
+    def remove_tree(self, tree_id: int) -> None:
+        """Remove a tree's state (controller teardown)."""
+        self._trees.pop(tree_id, None)
+
+    def tree(self, tree_id: int) -> TreeState:
+        """State of a configured tree."""
+        try:
+            return self._trees[tree_id]
+        except KeyError as exc:
+            raise AggregationError(
+                f"switch {self.switch_name!r} has no state for tree {tree_id}"
+            ) from exc
+
+    def tree_ids(self) -> list[int]:
+        """Identifiers of every configured tree."""
+        return sorted(self._trees)
+
+    def counters(self) -> dict[int, TreeCounters]:
+        """Per-tree counters."""
+        return {tree_id: state.counters for tree_id, state in self._trees.items()}
+
+    # ------------------------------------------------------------------ #
+    # Data-plane entry points
+    # ------------------------------------------------------------------ #
+    def pipeline_action(self, ctx: PacketContext) -> None:
+        """Extern entry point used inside the switch pipeline.
+
+        The incoming DAIET packet is consumed (it never continues to the
+        forwarding stage); any packets produced by flushes are emitted on the
+        tree's egress port.
+        """
+        packet = ctx.packet
+        if not isinstance(packet, DaietPacket):
+            raise AggregationError(
+                f"DAIET extern on switch {self.switch_name!r} received a "
+                f"{type(packet).__name__}"
+            )
+        ctx.metadata["consumed"] = True
+        state = self.tree(packet.tree_id)
+        # Charge one operation per pair, modelling the per-stage ALU work.
+        ctx.charge(max(1, packet.num_pairs))
+        for out_packet in self.process_packet(packet):
+            ctx.emit(state.egress_port, out_packet)
+
+    def process_packet(self, packet: DaietPacket) -> list[DaietPacket]:
+        """Pure form of Algorithm 1: consume one packet, return emitted packets."""
+        state = self.tree(packet.tree_id)
+        state.counters.packets_received += 1
+        if packet.packet_type is DaietPacketType.DATA:
+            return self._process_data(state, packet)
+        return self._process_end(state, packet)
+
+    # ------------------------------------------------------------------ #
+    # Algorithm 1
+    # ------------------------------------------------------------------ #
+    def _process_data(self, state: TreeState, packet: DaietPacket) -> list[DaietPacket]:
+        emitted: list[DaietPacket] = []
+        for key, value in packet.pairs:
+            state.counters.pairs_received += 1
+            idx = hash_key(key, state.config.register_slots)
+            if state.key_register.is_empty(idx):
+                state.key_register.write(idx, key)
+                state.value_register.write(idx, value)
+                state.index_stack.push(idx)
+                state.counters.pairs_inserted += 1
+            elif state.key_register.read(idx) == key:
+                current = state.value_register.read(idx)
+                state.value_register.write(idx, state.function(current, value))
+                state.counters.pairs_aggregated += 1
+            else:
+                state.counters.collisions += 1
+                state.spillover.store(key, value)
+                if state.spillover.is_full:
+                    emitted.extend(self._flush_spillover(state))
+        return emitted
+
+    def _process_end(self, state: TreeState, packet: DaietPacket) -> list[DaietPacket]:
+        state.counters.end_packets_received += 1
+        if state.config.reliable_end:
+            if packet.src in state._end_sources_seen:
+                # Retransmitted END: idempotent, no double decrement.
+                return []
+            state._end_sources_seen.add(packet.src)
+        if state.remaining_children <= 0:
+            raise AggregationError(
+                f"switch {self.switch_name!r} received an unexpected END packet "
+                f"for tree {state.tree_id} (all children already ended)"
+            )
+        state.remaining_children -= 1
+        if state.remaining_children > 0:
+            return []
+        emitted = self._flush_all(state)
+        state.rearm()
+        return emitted
+
+    # ------------------------------------------------------------------ #
+    # Flushing
+    # ------------------------------------------------------------------ #
+    def _flush_spillover(self, state: TreeState) -> list[DaietPacket]:
+        pairs = state.spillover.flush()
+        if not pairs:
+            return []
+        state.counters.spillover_flushes += 1
+        return self._emit_pairs(state, pairs, include_end=False)
+
+    def _flush_all(self, state: TreeState) -> list[DaietPacket]:
+        """Flush spillover first, then the aggregated registers, then END."""
+        state.counters.final_flushes += 1
+        pairs: list[tuple[str, int]] = list(state.spillover.flush())
+        for idx in state.index_stack.drain():
+            key = state.key_register.read(idx)
+            value = state.value_register.read(idx)
+            if key is None:
+                raise AggregationError(
+                    f"index stack of tree {state.tree_id} pointed at an empty slot"
+                )
+            pairs.append((key, value))
+            state.key_register.clear(idx)
+            state.value_register.clear(idx)
+        emitted = self._emit_pairs(state, pairs, include_end=True)
+        return emitted
+
+    def _emit_pairs(
+        self,
+        state: TreeState,
+        pairs: Iterable[tuple[str, int]],
+        include_end: bool,
+    ) -> list[DaietPacket]:
+        packets = list(
+            packetize_pairs(
+                pairs,
+                tree_id=state.tree_id,
+                src=self.switch_name,
+                dst=state.next_hop_dst,
+                config=state.config,
+                include_end=False,
+            )
+        )
+        if include_end:
+            packets.append(
+                end_packet(
+                    tree_id=state.tree_id,
+                    src=self.switch_name,
+                    dst=state.next_hop_dst,
+                    config=state.config,
+                )
+            )
+        state.counters.packets_emitted += len(packets)
+        state.counters.pairs_emitted += sum(p.num_pairs for p in packets)
+        return packets

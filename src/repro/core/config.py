@@ -1,0 +1,142 @@
+"""Configuration objects for the DAIET system.
+
+The values and their defaults follow Section 5 of the paper: 16K key/value
+register slots per tree, 16-byte fixed-size keys, 4-byte integer values, and at
+most 10 key-value pairs per packet (the parseable-bytes limit of current P4
+hardware, roughly 200-300 B per packet).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import ConfigurationError
+
+#: Default number of key/value register slots per aggregation tree (paper: 16K).
+DEFAULT_REGISTER_SLOTS = 16 * 1024
+
+#: Default fixed key width in bytes (paper: words of maximum 16 characters).
+DEFAULT_KEY_WIDTH = 16
+
+#: Default value width in bytes (paper: 4 B integer value).
+DEFAULT_VALUE_WIDTH = 4
+
+#: Default maximum number of key-value pairs carried by one DAIET packet
+#: (paper: "one DAIET packet can contain at most 10 key-value pairs").
+DEFAULT_PAIRS_PER_PACKET = 10
+
+#: Size in bytes of the DAIET preamble (tree id, packet type, number of pairs).
+DAIET_PREAMBLE_BYTES = 8
+
+#: Per-packet overhead of the simulated UDP/IP/Ethernet encapsulation.
+UDP_HEADER_BYTES = 8
+IP_HEADER_BYTES = 20
+ETHERNET_HEADER_BYTES = 14
+
+#: Per-segment overhead of the simulated TCP/IP/Ethernet encapsulation.
+TCP_HEADER_BYTES = 20
+
+#: Default TCP maximum segment size used by the TCP baseline (standard 1500 B
+#: MTU minus IP and TCP headers).
+DEFAULT_TCP_MSS = 1460
+
+
+@dataclass(frozen=True)
+class DaietConfig:
+    """Static configuration of a DAIET deployment.
+
+    Parameters
+    ----------
+    register_slots:
+        Number of single-element hash buckets in the per-tree key and value
+        register arrays.
+    key_width:
+        Fixed serialized width of a key in bytes. Keys longer than this are
+        rejected; shorter keys are padded (the paper notes this padding as an
+        overhead to be removed in future work).
+    value_width:
+        Serialized width of a value in bytes.
+    pairs_per_packet:
+        Maximum number of key-value pairs per DAIET data packet.
+    spillover_capacity:
+        Number of pairs held in the spillover bucket before it is flushed to
+        the next node. The paper sizes it as "as many entries as the number of
+        pairs that can fit in one packet"; ``None`` keeps that behaviour.
+    variable_length_keys:
+        Extension flag (paper future work): serialize keys with a one-byte
+        length prefix instead of fixed-size padding.
+    reliable_end:
+        Extension flag (paper future work): make END-packet handling idempotent
+        so that retransmitted END packets do not double-decrement the
+        remaining-children counter.
+    """
+
+    register_slots: int = DEFAULT_REGISTER_SLOTS
+    key_width: int = DEFAULT_KEY_WIDTH
+    value_width: int = DEFAULT_VALUE_WIDTH
+    pairs_per_packet: int = DEFAULT_PAIRS_PER_PACKET
+    spillover_capacity: int | None = None
+    variable_length_keys: bool = False
+    reliable_end: bool = False
+
+    def __post_init__(self) -> None:
+        if self.register_slots <= 0:
+            raise ConfigurationError("register_slots must be positive")
+        if self.key_width <= 0:
+            raise ConfigurationError("key_width must be positive")
+        if self.value_width <= 0:
+            raise ConfigurationError("value_width must be positive")
+        if self.pairs_per_packet <= 0:
+            raise ConfigurationError("pairs_per_packet must be positive")
+        if self.spillover_capacity is not None and self.spillover_capacity <= 0:
+            raise ConfigurationError("spillover_capacity must be positive when set")
+
+    @property
+    def effective_spillover_capacity(self) -> int:
+        """Spillover bucket capacity in pairs (defaults to one packet's worth)."""
+        if self.spillover_capacity is not None:
+            return self.spillover_capacity
+        return self.pairs_per_packet
+
+    @property
+    def pair_bytes(self) -> int:
+        """Serialized size of a single fixed-size key-value pair."""
+        return self.key_width + self.value_width
+
+    @property
+    def max_payload_bytes(self) -> int:
+        """Largest DAIET payload (preamble plus a full complement of pairs)."""
+        return DAIET_PREAMBLE_BYTES + self.pairs_per_packet * self.pair_bytes
+
+    def sram_bytes(self) -> int:
+        """Estimate the switch SRAM needed for one aggregation tree.
+
+        The paper estimates ~10 MB for 16K pairs with 16 B keys and 4 B values
+        across the full register/index-stack layout; we account for the two
+        register arrays plus the index stack (4 B per slot).
+        """
+        per_slot = self.key_width + self.value_width + 4
+        return self.register_slots * per_slot
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Knobs shared by the benchmark harness.
+
+    These mirror the paper's testbed scale and can be scaled down for quick
+    runs: 24 mappers, 12 reducers, 500 MB of random words, one bmv2 switch.
+    """
+
+    num_mappers: int = 24
+    num_reducers: int = 12
+    corpus_bytes: int = 5_000_000
+    seed: int = 2017
+    daiet: DaietConfig = field(default_factory=DaietConfig)
+
+    def __post_init__(self) -> None:
+        if self.num_mappers <= 0:
+            raise ConfigurationError("num_mappers must be positive")
+        if self.num_reducers <= 0:
+            raise ConfigurationError("num_reducers must be positive")
+        if self.corpus_bytes <= 0:
+            raise ConfigurationError("corpus_bytes must be positive")

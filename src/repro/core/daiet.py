@@ -1,0 +1,189 @@
+"""High-level DAIET facade.
+
+:class:`DaietSystem` wires together a topology, the network simulator, the
+DAIET controller and the host-side helpers (:class:`DaietSender` on mappers,
+:class:`DaietReceiver` on reducers), so that an application can offload its
+aggregation with a handful of calls:
+
+>>> system = DaietSystem.single_rack(num_hosts=4)
+>>> job = system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+>>> system.send_pairs("h0", "h3", [("ant", 1), ("bee", 2)])
+>>> system.send_pairs("h1", "h3", [("ant", 5)])
+>>> system.send_pairs("h2", "h3", [("cat", 7)])
+>>> system.run()
+>>> system.receiver("h3").result()
+{'ant': 6, 'bee': 2, 'cat': 7}
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.aggregation import DaietAggregationEngine
+from repro.core.config import DaietConfig
+from repro.core.controller import DaietController, InstalledJob
+from repro.core.errors import ControllerError
+from repro.core.functions import AggregationFunction, get as get_function
+from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
+from repro.core.tree import AggregationTree
+from repro.netsim.simulator import NetworkSimulator
+from repro.netsim.topology import Topology, single_rack
+
+
+@dataclass
+class ReceiverCounters:
+    """Traffic observed by a reducer-side receiver at the application layer."""
+
+    packets: int = 0
+    data_packets: int = 0
+    end_packets: int = 0
+    pairs: int = 0
+    payload_bytes: int = 0
+    wire_bytes: int = 0
+
+
+@dataclass
+class DaietReceiver:
+    """Application-level collector of aggregated pairs at a reducer host.
+
+    The receiver applies the aggregation function one final time on arrival:
+    intermediate switches may emit several partial values for the same key
+    (spillover flushes, multiple switches on different branches), and the
+    reducer merging them is exactly what preserves end-to-end correctness.
+    """
+
+    host: str
+    tree_id: int
+    function: AggregationFunction
+    expected_ends: int
+    counters: ReceiverCounters = field(default_factory=ReceiverCounters)
+    _values: dict[str, Any] = field(default_factory=dict)
+    _ends_seen: int = 0
+
+    def receive(self, packet: Any) -> None:
+        """Host receiver callback; ignores traffic for other trees."""
+        if not isinstance(packet, DaietPacket) or packet.tree_id != self.tree_id:
+            return
+        self.counters.packets += 1
+        self.counters.wire_bytes += packet.wire_bytes()
+        self.counters.payload_bytes += packet.payload_bytes()
+        if packet.packet_type is DaietPacketType.END:
+            self.counters.end_packets += 1
+            self._ends_seen += 1
+            return
+        self.counters.data_packets += 1
+        for key, value in packet.pairs:
+            self.counters.pairs += 1
+            if key in self._values:
+                self._values[key] = self.function(self._values[key], value)
+            else:
+                self._values[key] = value
+
+    @property
+    def done(self) -> bool:
+        """True once every expected END packet has arrived."""
+        return self._ends_seen >= self.expected_ends
+
+    def result(self) -> dict[str, Any]:
+        """The aggregated key-value map received so far."""
+        return dict(self._values)
+
+
+class DaietSystem:
+    """Facade bundling topology, simulator, controller and host helpers."""
+
+    def __init__(
+        self,
+        topology: Topology,
+        config: DaietConfig | None = None,
+    ) -> None:
+        self.topology = topology
+        self.config = config or DaietConfig()
+        self.simulator = NetworkSimulator(topology)
+        self.controller = DaietController(topology, self.config)
+        self._receivers: dict[str, DaietReceiver] = {}
+        self._jobs: list[InstalledJob] = []
+
+    @classmethod
+    def single_rack(cls, num_hosts: int, config: DaietConfig | None = None) -> "DaietSystem":
+        """Convenience constructor: ``num_hosts`` hosts behind one ToR switch."""
+        return cls(single_rack(num_hosts), config=config)
+
+    # ------------------------------------------------------------------ #
+    # Job management
+    # ------------------------------------------------------------------ #
+    def install_job(
+        self,
+        mappers: Iterable[str],
+        reducers: Iterable[str],
+        function: str | AggregationFunction = "sum",
+    ) -> InstalledJob:
+        """Install aggregation trees and attach receivers on every reducer."""
+        function_obj = function if isinstance(function, AggregationFunction) else get_function(function)
+        job = self.controller.install_job(mappers, reducers, function_obj)
+        for reducer, tree in job.trees.items():
+            receiver = DaietReceiver(
+                host=reducer,
+                tree_id=tree.tree_id,
+                function=function_obj,
+                expected_ends=tree.children_count(reducer),
+            )
+            self._receivers[reducer] = receiver
+            self.simulator.host(reducer).set_receiver(receiver.receive)
+        self._jobs.append(job)
+        return job
+
+    def receiver(self, reducer: str) -> DaietReceiver:
+        """The receiver attached to a reducer host."""
+        try:
+            return self._receivers[reducer]
+        except KeyError as exc:
+            raise ControllerError(f"no DAIET receiver attached to host {reducer!r}") from exc
+
+    def engine(self, switch_name: str) -> DaietAggregationEngine:
+        """The aggregation engine installed on a switch."""
+        return self.controller.engine(switch_name)
+
+    def tree_for(self, reducer: str) -> AggregationTree:
+        """The most recently installed tree rooted at ``reducer``."""
+        for job in reversed(self._jobs):
+            if reducer in job.trees:
+                return job.trees[reducer]
+        raise ControllerError(f"no aggregation tree rooted at {reducer!r}")
+
+    # ------------------------------------------------------------------ #
+    # Data plane helpers
+    # ------------------------------------------------------------------ #
+    def send_pairs(
+        self,
+        mapper: str,
+        reducer: str,
+        pairs: Iterable[tuple[str, int]],
+        include_end: bool = True,
+    ) -> int:
+        """Packetize and send a mapper's partition towards a reducer.
+
+        Returns the number of packets injected (including the END marker).
+        """
+        tree = self.tree_for(reducer)
+        if mapper not in tree.mappers:
+            raise ControllerError(
+                f"host {mapper!r} is not a mapper of the tree rooted at {reducer!r}"
+            )
+        count = 0
+        for packet in packetize_pairs(
+            pairs,
+            tree_id=tree.tree_id,
+            src=mapper,
+            dst=reducer,
+            config=self.config,
+            include_end=include_end,
+        ):
+            self.simulator.send(mapper, packet)
+            count += 1
+        return count
+
+    def run(self, until: float | None = None) -> int:
+        """Run the simulation until all in-flight traffic is delivered."""
+        return self.simulator.run(until=until)

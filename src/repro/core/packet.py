@@ -1,0 +1,283 @@
+"""DAIET wire format.
+
+Section 4 of the paper: intermediate map output "partitions are sent to the
+reducer using UDP packets containing a small preamble and a sequence of
+key-value pairs"; the preamble specifies the number of pairs and the tree id;
+pairs use a fixed-size representation (16-byte keys, 4-byte integer values in
+the prototype) so that packetization never needs to deserialize the data; the
+end of a partition is marked by a special END packet.
+
+:class:`DaietPacket` models one such UDP packet. It exposes
+
+* ``wire_bytes()`` — full frame size including Ethernet/IP/UDP encapsulation,
+* ``header_stack()`` — the headers visible to the bounded-depth switch parser
+  (preamble plus one header per pair, which is exactly why the pair count per
+  packet is limited on real hardware),
+* ``encode()`` / ``decode()`` — an actual byte-level serialization used by the
+  round-trip property tests.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Iterator, Sequence
+
+from repro.core.config import (
+    DAIET_PREAMBLE_BYTES,
+    ETHERNET_HEADER_BYTES,
+    IP_HEADER_BYTES,
+    UDP_HEADER_BYTES,
+    DaietConfig,
+)
+from repro.core.errors import PacketFormatError
+
+#: UDP destination port reserved for DAIET traffic in the simulation.
+DAIET_UDP_PORT = 5555
+
+
+class DaietPacketType(enum.Enum):
+    """The two packet kinds of the DAIET protocol."""
+
+    DATA = 1
+    END = 2
+
+
+@dataclass(frozen=True)
+class DaietPacket:
+    """One DAIET protocol packet (DATA with key-value pairs, or END marker)."""
+
+    tree_id: int
+    src: str
+    dst: str
+    packet_type: DaietPacketType = DaietPacketType.DATA
+    pairs: tuple[tuple[str, int], ...] = ()
+    config: DaietConfig = field(default_factory=DaietConfig)
+
+    def __post_init__(self) -> None:
+        if self.tree_id < 0:
+            raise PacketFormatError("tree_id must be non-negative")
+        if self.packet_type is DaietPacketType.END and self.pairs:
+            raise PacketFormatError("END packets must not carry key-value pairs")
+        if len(self.pairs) > self.config.pairs_per_packet:
+            raise PacketFormatError(
+                f"packet carries {len(self.pairs)} pairs but the configuration "
+                f"allows at most {self.config.pairs_per_packet}"
+            )
+        for key, _value in self.pairs:
+            encoded = key.encode() if isinstance(key, str) else bytes(key)
+            if not self.config.variable_length_keys and len(encoded) > self.config.key_width:
+                raise PacketFormatError(
+                    f"key {key!r} is {len(encoded)} B, exceeding the fixed key "
+                    f"width of {self.config.key_width} B"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_pairs(self) -> int:
+        """Number of key-value pairs carried by the packet."""
+        return len(self.pairs)
+
+    def payload_bytes(self) -> int:
+        """DAIET payload size: preamble plus the serialized pairs."""
+        if self.config.variable_length_keys:
+            pair_bytes = sum(
+                1 + _key_bytes_len(key, self.config) + self.config.value_width
+                for key, _ in self.pairs
+            )
+        else:
+            pair_bytes = self.num_pairs * self.config.pair_bytes
+        return DAIET_PREAMBLE_BYTES + pair_bytes
+
+    def wire_bytes(self) -> int:
+        """Full frame size (Ethernet + IPv4 + UDP + DAIET payload)."""
+        return (
+            ETHERNET_HEADER_BYTES
+            + IP_HEADER_BYTES
+            + UDP_HEADER_BYTES
+            + self.payload_bytes()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Parser view
+    # ------------------------------------------------------------------ #
+    def header_stack(self) -> list[tuple[str, Any, int]]:
+        """Headers the switch parser must extract, in order.
+
+        Unlike plain UDP traffic, a DAIET switch must parse the preamble *and
+        every key-value pair header*, which is what makes the per-packet pair
+        count a hard constraint on real hardware (~200-300 parseable bytes).
+        """
+        stack: list[tuple[str, Any, int]] = [
+            ("ethernet", {"src": self.src, "dst": self.dst}, ETHERNET_HEADER_BYTES),
+            ("ipv4", {"src": self.src, "dst": self.dst}, IP_HEADER_BYTES),
+            ("udp", {"dport": DAIET_UDP_PORT}, UDP_HEADER_BYTES),
+            (
+                "daiet",
+                {
+                    "tree_id": self.tree_id,
+                    "type": self.packet_type.name,
+                    "num_entries": self.num_pairs,
+                },
+                DAIET_PREAMBLE_BYTES,
+            ),
+        ]
+        for i, (key, value) in enumerate(self.pairs):
+            if self.config.variable_length_keys:
+                nbytes = 1 + _key_bytes_len(key, self.config) + self.config.value_width
+            else:
+                nbytes = self.config.pair_bytes
+            stack.append((f"kv_{i}", {"key": key, "value": value}, nbytes))
+        return stack
+
+    # ------------------------------------------------------------------ #
+    # Byte-level serialization
+    # ------------------------------------------------------------------ #
+    def encode(self) -> bytes:
+        """Serialize the DAIET payload (preamble + pairs) to bytes."""
+        preamble = struct.pack(
+            "!IHBB", self.tree_id, self.num_pairs, self.packet_type.value, 0
+        )
+        chunks = [preamble]
+        for key, value in self.pairs:
+            key_bytes = key.encode() if isinstance(key, str) else bytes(key)
+            if self.config.variable_length_keys:
+                if len(key_bytes) > 255:
+                    raise PacketFormatError("variable-length keys are limited to 255 B")
+                chunks.append(struct.pack("!B", len(key_bytes)))
+                chunks.append(key_bytes)
+            else:
+                chunks.append(key_bytes.ljust(self.config.key_width, b"\x00"))
+            chunks.append(_encode_value(value, self.config.value_width))
+        return b"".join(chunks)
+
+    @classmethod
+    def decode(cls, data: bytes, src: str, dst: str, config: DaietConfig | None = None) -> "DaietPacket":
+        """Reconstruct a packet from bytes produced by :meth:`encode`."""
+        config = config or DaietConfig()
+        if len(data) < DAIET_PREAMBLE_BYTES:
+            raise PacketFormatError("payload shorter than the DAIET preamble")
+        tree_id, num_pairs, type_value, _reserved = struct.unpack(
+            "!IHBB", data[:DAIET_PREAMBLE_BYTES]
+        )
+        try:
+            packet_type = DaietPacketType(type_value)
+        except ValueError as exc:
+            raise PacketFormatError(f"unknown DAIET packet type {type_value}") from exc
+        offset = DAIET_PREAMBLE_BYTES
+        pairs: list[tuple[str, int]] = []
+        for _ in range(num_pairs):
+            if config.variable_length_keys:
+                if offset >= len(data):
+                    raise PacketFormatError("truncated variable-length key")
+                key_len = data[offset]
+                offset += 1
+                key_bytes = data[offset : offset + key_len]
+                if len(key_bytes) != key_len:
+                    raise PacketFormatError("truncated variable-length key body")
+                offset += key_len
+            else:
+                key_bytes = data[offset : offset + config.key_width]
+                if len(key_bytes) != config.key_width:
+                    raise PacketFormatError("truncated fixed-size key")
+                offset += config.key_width
+                key_bytes = key_bytes.rstrip(b"\x00")
+            value_bytes = data[offset : offset + config.value_width]
+            if len(value_bytes) != config.value_width:
+                raise PacketFormatError("truncated value")
+            offset += config.value_width
+            pairs.append((key_bytes.decode(), _decode_value(value_bytes)))
+        return cls(
+            tree_id=tree_id,
+            src=src,
+            dst=dst,
+            packet_type=packet_type,
+            pairs=tuple(pairs),
+            config=config,
+        )
+
+
+def _key_bytes_len(key: str | bytes, config: DaietConfig) -> int:
+    encoded = key.encode() if isinstance(key, str) else bytes(key)
+    return len(encoded)
+
+
+def _encode_value(value: int, width: int) -> bytes:
+    if not isinstance(value, int):
+        raise PacketFormatError(
+            f"fixed-width serialization supports integer values only, got {type(value).__name__}"
+        )
+    try:
+        return value.to_bytes(width, "big", signed=True)
+    except OverflowError as exc:
+        raise PacketFormatError(f"value {value} does not fit in {width} bytes") from exc
+
+
+def _decode_value(data: bytes) -> int:
+    return int.from_bytes(data, "big", signed=True)
+
+
+# ---------------------------------------------------------------------- #
+# Packetization helpers
+# ---------------------------------------------------------------------- #
+def packetize_pairs(
+    pairs: Sequence[tuple[str, int]] | Iterable[tuple[str, int]],
+    tree_id: int,
+    src: str,
+    dst: str,
+    config: DaietConfig | None = None,
+    include_end: bool = True,
+) -> Iterator[DaietPacket]:
+    """Split a stream of key-value pairs into DAIET DATA packets (plus END).
+
+    This is the mapper-side packetization described in the paper: the map
+    output is written so that packets always carry complete pairs; the final
+    END packet marks the end of the partition.
+    """
+    config = config or DaietConfig()
+    batch: list[tuple[str, int]] = []
+    for pair in pairs:
+        batch.append(pair)
+        if len(batch) == config.pairs_per_packet:
+            yield DaietPacket(
+                tree_id=tree_id,
+                src=src,
+                dst=dst,
+                packet_type=DaietPacketType.DATA,
+                pairs=tuple(batch),
+                config=config,
+            )
+            batch = []
+    if batch:
+        yield DaietPacket(
+            tree_id=tree_id,
+            src=src,
+            dst=dst,
+            packet_type=DaietPacketType.DATA,
+            pairs=tuple(batch),
+            config=config,
+        )
+    if include_end:
+        yield DaietPacket(
+            tree_id=tree_id,
+            src=src,
+            dst=dst,
+            packet_type=DaietPacketType.END,
+            pairs=(),
+            config=config,
+        )
+
+
+def end_packet(tree_id: int, src: str, dst: str, config: DaietConfig | None = None) -> DaietPacket:
+    """Build an END packet for the given tree."""
+    return DaietPacket(
+        tree_id=tree_id,
+        src=src,
+        dst=dst,
+        packet_type=DaietPacketType.END,
+        pairs=(),
+        config=config or DaietConfig(),
+    )

@@ -1,0 +1,103 @@
+"""Packet parser model with a bounded parse depth.
+
+Hardware P4 parsers can only inspect the first few hundred bytes of a packet
+("around 200-300 B", Section 5), which is why one DAIET packet carries at most
+~10 key-value pairs. The :class:`HeaderParser` here enforces that limit: it
+walks a stack of headers and stops (raising) if the program would need to look
+deeper into the packet than the target allows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Protocol
+
+from repro.core.errors import PacketFormatError, ResourceExhaustedError
+from repro.dataplane.resources import SwitchResources
+
+
+class ParsableHeader(Protocol):
+    """Anything exposing a serialized byte length can be parsed."""
+
+    def byte_length(self) -> int:
+        """Serialized length of the header in bytes."""
+        ...
+
+
+@dataclass
+class ParseResult:
+    """Outcome of parsing one packet.
+
+    Attributes
+    ----------
+    headers:
+        Mapping from header name to the extracted header object.
+    parsed_bytes:
+        Total bytes the parser had to look at.
+    """
+
+    headers: dict[str, Any]
+    parsed_bytes: int
+
+    def get(self, name: str) -> Any:
+        """Return a parsed header by name, or ``None``."""
+        return self.headers.get(name)
+
+
+class HeaderParser:
+    """Parser driven by the packets' own self-describing header stacks.
+
+    Simulated packets (see :mod:`repro.core.packet` and
+    :mod:`repro.transport`) expose a ``header_stack()`` method returning an
+    ordered list of ``(name, header, nbytes)`` tuples. The parser extracts them
+    in order while charging the parse-depth budget.
+    """
+
+    def __init__(self, resources: SwitchResources | None = None) -> None:
+        self.resources = resources or SwitchResources()
+        self.packets_parsed = 0
+        self.bytes_parsed = 0
+
+    def parse(self, packet: Any) -> ParseResult:
+        """Parse ``packet`` and return the extracted headers.
+
+        Raises
+        ------
+        PacketFormatError
+            If the packet does not expose a ``header_stack()`` method.
+        ResourceExhaustedError
+            If extracting the headers would exceed the target's parse-depth
+            budget (``max_parse_bytes``).
+        """
+        stack_fn = getattr(packet, "header_stack", None)
+        if stack_fn is None:
+            raise PacketFormatError(
+                f"object of type {type(packet).__name__} is not a parsable packet"
+            )
+        headers: dict[str, Any] = {}
+        parsed_bytes = 0
+        for name, header, nbytes in stack_fn():
+            if nbytes < 0:
+                raise PacketFormatError(f"header {name!r} reports a negative length")
+            parsed_bytes += nbytes
+            if parsed_bytes > self.resources.max_parse_bytes:
+                raise ResourceExhaustedError(
+                    f"parse depth exceeded: header {name!r} ends at byte "
+                    f"{parsed_bytes}, target limit is {self.resources.max_parse_bytes}"
+                )
+            headers[name] = header
+        self.packets_parsed += 1
+        self.bytes_parsed += parsed_bytes
+        return ParseResult(headers=headers, parsed_bytes=parsed_bytes)
+
+    def max_pairs_per_packet(self, preamble_bytes: int, pair_bytes: int) -> int:
+        """How many fixed-size pairs fit within the parse-depth budget.
+
+        Helper used by configuration validation: with a 300 B parse budget,
+        an 8 B preamble and 20 B pairs, at most 14 pairs could ever be parsed;
+        the paper conservatively uses 10.
+        """
+        if pair_bytes <= 0:
+            raise PacketFormatError("pair_bytes must be positive")
+        available = self.resources.max_parse_bytes - preamble_bytes
+        return max(0, available // pair_bytes)

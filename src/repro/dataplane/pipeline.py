@@ -1,0 +1,103 @@
+"""Multi-stage match-action pipeline.
+
+The RMT architecture processes every packet through a fixed sequence of
+match-action stages; each stage holds one or more tables and has a bounded
+amount of work it can do. :class:`Pipeline` models that: stages are applied in
+order, the total number of stages is limited by the target resources, and the
+per-packet operation counter is threaded through every action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import PipelineError
+from repro.dataplane.actions import PacketContext
+from repro.dataplane.resources import PacketOpCounter, SwitchResources
+from repro.dataplane.tables import MatchActionTable
+
+#: A stage step is either a table or an extern callable applied to the context.
+StageStep = MatchActionTable | Callable[[PacketContext], None]
+
+
+@dataclass
+class PipelineStage:
+    """One physical stage of the pipeline, holding an ordered list of steps."""
+
+    name: str
+    steps: list[StageStep] = field(default_factory=list)
+
+    def add_table(self, table: MatchActionTable) -> MatchActionTable:
+        """Place a match-action table in this stage."""
+        self.steps.append(table)
+        return table
+
+    def add_extern(self, func: Callable[[PacketContext], None]) -> None:
+        """Place an extern (stateful black box, e.g. the DAIET aggregator)."""
+        self.steps.append(func)
+
+    def apply(self, ctx: PacketContext) -> None:
+        """Run every step of the stage unless the packet was dropped/consumed."""
+        for step in self.steps:
+            if ctx.metadata.get("drop") or ctx.metadata.get("consumed"):
+                return
+            if isinstance(step, MatchActionTable):
+                step.apply(ctx)
+            else:
+                ctx.charge(1)
+                step(ctx)
+
+
+class Pipeline:
+    """An ordered list of stages bounded by the target's stage budget."""
+
+    def __init__(self, resources: SwitchResources | None = None, name: str = "ingress") -> None:
+        self.name = name
+        self.resources = resources or SwitchResources()
+        self._stages: list[PipelineStage] = []
+        self.packets_processed = 0
+        self.packets_dropped = 0
+
+    def add_stage(self, name: str | None = None) -> PipelineStage:
+        """Append a new stage; fails when the target has no stage left."""
+        if len(self._stages) >= self.resources.pipeline_stages:
+            raise PipelineError(
+                f"pipeline {self.name!r} exceeds the target's "
+                f"{self.resources.pipeline_stages}-stage budget"
+            )
+        stage = PipelineStage(name=name or f"stage{len(self._stages)}")
+        self._stages.append(stage)
+        return stage
+
+    @property
+    def stages(self) -> tuple[PipelineStage, ...]:
+        """Snapshot of the configured stages."""
+        return tuple(self._stages)
+
+    def tables(self) -> dict[str, MatchActionTable]:
+        """All tables in the pipeline, keyed by table name."""
+        found: dict[str, MatchActionTable] = {}
+        for stage in self._stages:
+            for step in stage.steps:
+                if isinstance(step, MatchActionTable):
+                    if step.name in found:
+                        raise PipelineError(f"duplicate table name {step.name!r}")
+                    found[step.name] = step
+        return found
+
+    def process(self, packet: Any, ingress_port: int) -> PacketContext:
+        """Run one packet through every stage and return the final context."""
+        ctx = PacketContext(
+            packet=packet,
+            metadata={"ingress_port": ingress_port, "drop": False, "consumed": False},
+            ops=PacketOpCounter(limit=self.resources.max_ops_per_packet),
+        )
+        for stage in self._stages:
+            if ctx.metadata.get("drop") or ctx.metadata.get("consumed"):
+                break
+            stage.apply(ctx)
+        self.packets_processed += 1
+        if ctx.metadata.get("drop"):
+            self.packets_dropped += 1
+        return ctx

@@ -1,0 +1,174 @@
+"""A programmable switch: parser + pipeline + registers + ports.
+
+:class:`ProgrammableSwitch` is the functional model of one Tofino/bmv2-class
+device. It is deliberately independent of the network simulator: it consumes a
+packet on an ingress port and returns the list of packets to transmit, so it
+can be unit-tested in isolation and wrapped by
+:class:`repro.netsim.devices.SwitchDevice` for end-to-end runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.core.errors import PipelineError, TableError
+from repro.dataplane.parser import HeaderParser, ParseResult
+from repro.dataplane.pipeline import Pipeline
+from repro.dataplane.resources import ResourceLedger, SwitchResources
+from repro.dataplane.tables import FlowRule, MatchActionTable
+
+#: Egress port value meaning "broadcast to every port except the ingress one".
+BROADCAST_PORT = -1
+
+
+@dataclass
+class SwitchCounters:
+    """Aggregate per-switch counters used by the evaluation harness."""
+
+    packets_in: int = 0
+    packets_out: int = 0
+    packets_dropped: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    packets_generated: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """Return the counters as a plain dictionary."""
+        return {
+            "packets_in": self.packets_in,
+            "packets_out": self.packets_out,
+            "packets_dropped": self.packets_dropped,
+            "bytes_in": self.bytes_in,
+            "bytes_out": self.bytes_out,
+            "packets_generated": self.packets_generated,
+        }
+
+
+class ProgrammableSwitch:
+    """Functional model of a programmable match-action switch.
+
+    Parameters
+    ----------
+    name:
+        Device name (unique within a topology).
+    num_ports:
+        Number of front-panel ports.
+    resources:
+        The target resource budget; defaults to a Tofino-like profile.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        num_ports: int = 64,
+        resources: SwitchResources | None = None,
+    ) -> None:
+        if num_ports <= 0:
+            raise PipelineError("a switch needs at least one port")
+        self.name = name
+        self.num_ports = num_ports
+        self.resources = resources or SwitchResources()
+        self.ledger = ResourceLedger(budget=self.resources)
+        self.parser = HeaderParser(self.resources)
+        self.pipeline = Pipeline(self.resources, name=f"{name}.ingress")
+        self.counters = SwitchCounters()
+        self.externs: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Control-plane interface
+    # ------------------------------------------------------------------ #
+    def install_rule(self, rule: FlowRule) -> None:
+        """Install a flow rule into the named table."""
+        table = self._table(rule.table)
+        table.install(rule)
+
+    def install_rules(self, rules: list[FlowRule]) -> int:
+        """Install a batch of rules; returns the number installed."""
+        for rule in rules:
+            self.install_rule(rule)
+        return len(rules)
+
+    def remove_rule(self, table_name: str, match: dict[str, Any]) -> bool:
+        """Remove a rule from a table by its match key."""
+        return self._table(table_name).remove(match)
+
+    def register_extern(self, name: str, extern: Any) -> None:
+        """Attach a stateful extern object (e.g. a DAIET aggregation engine)."""
+        self.externs[name] = extern
+
+    def get_extern(self, name: str) -> Any:
+        """Return a previously registered extern."""
+        if name not in self.externs:
+            raise PipelineError(f"switch {self.name!r} has no extern named {name!r}")
+        return self.externs[name]
+
+    def _table(self, table_name: str) -> MatchActionTable:
+        tables = self.pipeline.tables()
+        if table_name not in tables:
+            raise TableError(
+                f"switch {self.name!r} has no table named {table_name!r}; "
+                f"available: {sorted(tables)}"
+            )
+        return tables[table_name]
+
+    # ------------------------------------------------------------------ #
+    # Data-plane interface
+    # ------------------------------------------------------------------ #
+    def receive(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+        """Process one packet; return ``(egress_port, packet)`` transmissions.
+
+        The returned list contains zero entries when the packet was dropped or
+        fully absorbed by an extern, one entry for plain forwarding, and
+        possibly several entries when the pipeline emitted switch-generated
+        packets (e.g. DAIET flushes) or the packet was broadcast.
+        """
+        if not 0 <= ingress_port < self.num_ports:
+            raise PipelineError(
+                f"ingress port {ingress_port} out of range for switch {self.name!r}"
+            )
+        self.counters.packets_in += 1
+        self.counters.bytes_in += _packet_bytes(packet)
+
+        parse_result = self.parser.parse(packet)
+        ctx = self.pipeline.process(packet, ingress_port)
+        ctx.metadata.setdefault("parse_result", parse_result)
+
+        out: list[tuple[int, Any]] = []
+        if not ctx.metadata.get("drop") and not ctx.metadata.get("consumed"):
+            egress = ctx.metadata.get("egress_port")
+            if egress is None:
+                # No forwarding decision: drop, as real switches do on a miss.
+                self.counters.packets_dropped += 1
+            elif egress == BROADCAST_PORT:
+                for port in range(self.num_ports):
+                    if port != ingress_port:
+                        out.append((port, packet))
+            else:
+                out.append((int(egress), packet))
+        elif ctx.metadata.get("drop"):
+            self.counters.packets_dropped += 1
+
+        for egress_port, generated in ctx.emitted:
+            out.append((egress_port, generated))
+            self.counters.packets_generated += 1
+
+        for _, pkt in out:
+            self.counters.packets_out += 1
+            self.counters.bytes_out += _packet_bytes(pkt)
+        return out
+
+    def parse_only(self, packet: Any) -> ParseResult:
+        """Run only the parser (used by tests and diagnostics)."""
+        return self.parser.parse(packet)
+
+
+def _packet_bytes(packet: Any) -> int:
+    """Best-effort serialized size of a packet object."""
+    size_fn = getattr(packet, "wire_bytes", None)
+    if callable(size_fn):
+        return int(size_fn())
+    length = getattr(packet, "length", None)
+    if isinstance(length, int):
+        return length
+    return 0

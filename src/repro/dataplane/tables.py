@@ -1,0 +1,228 @@
+"""Match-action tables and flow rules.
+
+A P4 program declares tables; the control plane populates them with entries at
+run time ("the controller can configure a P4 data plane by pushing flow rules
+to a set of tables", Section 5). This module models exact-match and ternary
+tables with priorities and default actions, plus the :class:`FlowRule`
+representation that the controller pushes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Mapping
+
+from repro.core.errors import TableError
+from repro.dataplane.actions import Action, NoAction, PacketContext
+
+#: Wildcard marker usable in ternary match keys.
+WILDCARD = "*"
+
+
+@dataclass(frozen=True)
+class FlowRule:
+    """A single control-plane rule destined for one table on one switch.
+
+    Parameters
+    ----------
+    table:
+        Name of the table the rule belongs to.
+    match:
+        Mapping from match-field name to the value to match (or
+        :data:`WILDCARD` for ternary tables).
+    action_name:
+        Name of the action to run, resolved against the table's registered
+        action set.
+    action_params:
+        Parameters bound to the action when the rule is installed.
+    priority:
+        Higher priority wins when several ternary entries match.
+    """
+
+    table: str
+    match: tuple[tuple[str, Any], ...]
+    action_name: str
+    action_params: tuple[tuple[str, Any], ...] = ()
+    priority: int = 0
+
+    @classmethod
+    def create(
+        cls,
+        table: str,
+        match: Mapping[str, Any],
+        action_name: str,
+        action_params: Mapping[str, Any] | None = None,
+        priority: int = 0,
+    ) -> "FlowRule":
+        """Build a rule from plain dictionaries (hashable canonical form)."""
+        return cls(
+            table=table,
+            match=tuple(sorted(match.items())),
+            action_name=action_name,
+            action_params=tuple(sorted((action_params or {}).items())),
+            priority=priority,
+        )
+
+    def match_dict(self) -> dict[str, Any]:
+        """The match fields as a dictionary."""
+        return dict(self.match)
+
+    def params_dict(self) -> dict[str, Any]:
+        """The action parameters as a dictionary."""
+        return dict(self.action_params)
+
+
+@dataclass
+class TableEntry:
+    """An installed table entry: match key, bound action, priority."""
+
+    match: dict[str, Any]
+    action: Action
+    priority: int = 0
+
+
+class MatchActionTable:
+    """An exact-match or ternary match-action table.
+
+    Parameters
+    ----------
+    name:
+        Table name (used by :class:`FlowRule` routing).
+    match_fields:
+        Ordered names of the fields this table matches on. Lookup keys are
+        built from packet metadata using these names.
+    match_kind:
+        ``"exact"`` or ``"ternary"``. Ternary tables honour :data:`WILDCARD`
+        in entry match values and resolve overlaps by priority.
+    max_entries:
+        Capacity of the table (TCAM/SRAM entries are a scarce resource).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        match_fields: Iterable[str],
+        match_kind: str = "exact",
+        max_entries: int = 4096,
+    ) -> None:
+        if match_kind not in ("exact", "ternary"):
+            raise TableError(f"unsupported match kind {match_kind!r}")
+        self.name = name
+        self.match_fields = tuple(match_fields)
+        if not self.match_fields:
+            raise TableError(f"table {name!r} must declare at least one match field")
+        self.match_kind = match_kind
+        self.max_entries = max_entries
+        self.default_action: Action = NoAction()
+        self._entries: list[TableEntry] = []
+        self._actions: dict[str, type[Action] | Action] = {}
+        self.hit_count = 0
+        self.miss_count = 0
+
+    def register_action(self, name: str, action: type[Action] | Action) -> None:
+        """Make an action available to flow rules under ``name``."""
+        self._actions[name] = action
+
+    def set_default_action(self, action: Action) -> None:
+        """Action executed on a table miss."""
+        self.default_action = action
+
+    def install(self, rule: FlowRule) -> TableEntry:
+        """Install a control-plane rule, returning the created entry."""
+        if rule.table != self.name:
+            raise TableError(
+                f"rule for table {rule.table!r} installed into table {self.name!r}"
+            )
+        if len(self._entries) >= self.max_entries:
+            raise TableError(f"table {self.name!r} is full ({self.max_entries} entries)")
+        missing = set(self.match_fields) - set(rule.match_dict())
+        if missing:
+            raise TableError(
+                f"rule for table {self.name!r} missing match fields {sorted(missing)}"
+            )
+        action = self._resolve_action(rule)
+        entry = TableEntry(match=rule.match_dict(), action=action, priority=rule.priority)
+        if self.match_kind == "exact" and self._find_exact(entry.match) is not None:
+            raise TableError(
+                f"duplicate exact-match entry in table {self.name!r}: {entry.match}"
+            )
+        self._entries.append(entry)
+        if self.match_kind == "ternary":
+            self._entries.sort(key=lambda e: -e.priority)
+        return entry
+
+    def remove(self, match: Mapping[str, Any]) -> bool:
+        """Remove the entry with the given match key; returns ``True`` if found."""
+        for i, entry in enumerate(self._entries):
+            if entry.match == dict(match):
+                del self._entries[i]
+                return True
+        return False
+
+    def clear(self) -> None:
+        """Remove every installed entry."""
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> tuple[TableEntry, ...]:
+        """Snapshot of the installed entries."""
+        return tuple(self._entries)
+
+    def lookup(self, key: Mapping[str, Any]) -> TableEntry | None:
+        """Find the matching entry for a lookup key (no side effects)."""
+        if self.match_kind == "exact":
+            return self._find_exact(dict(key))
+        for entry in self._entries:
+            if self._ternary_matches(entry.match, key):
+                return entry
+        return None
+
+    def apply(self, ctx: PacketContext) -> bool:
+        """Run the table against a packet context.
+
+        Builds the lookup key from ``ctx.metadata`` using the declared match
+        fields, executes the matching entry's action (or the default action on
+        a miss), and returns whether the lookup hit.
+        """
+        ctx.charge(1)
+        key = {f: ctx.metadata.get(f) for f in self.match_fields}
+        entry = self.lookup(key)
+        if entry is None:
+            self.miss_count += 1
+            self.default_action(ctx)
+            return False
+        self.hit_count += 1
+        entry.action(ctx)
+        return True
+
+    def _resolve_action(self, rule: FlowRule) -> Action:
+        spec = self._actions.get(rule.action_name)
+        if spec is None:
+            raise TableError(
+                f"table {self.name!r} has no action named {rule.action_name!r}"
+            )
+        if isinstance(spec, Action):
+            if rule.action_params:
+                raise TableError(
+                    f"action {rule.action_name!r} is a shared instance and does not "
+                    "accept per-rule parameters"
+                )
+            return spec
+        return spec(**rule.params_dict())
+
+    def _find_exact(self, key: dict[str, Any]) -> TableEntry | None:
+        for entry in self._entries:
+            if entry.match == key:
+                return entry
+        return None
+
+    @staticmethod
+    def _ternary_matches(entry_match: Mapping[str, Any], key: Mapping[str, Any]) -> bool:
+        for field_name, expected in entry_match.items():
+            if expected == WILDCARD:
+                continue
+            if key.get(field_name) != expected:
+                return False
+        return True

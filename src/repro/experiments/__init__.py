@@ -1,0 +1,38 @@
+"""Experiment runners regenerating every figure of the paper's evaluation.
+
+Each module exposes a ``run_*`` entry point plus a ``*Settings`` dataclass with
+a ``quick()`` variant, so the same code backs the benchmark harness
+(paper-scale parameters), the examples and the fast integration tests.
+"""
+
+from repro.experiments.figure1_graph import (
+    Figure1GraphResult,
+    Figure1GraphSettings,
+    run_figure1c,
+)
+from repro.experiments.figure1_ml import (
+    Figure1MlResult,
+    Figure1MlSettings,
+    run_figure1_ml,
+    run_figure1a,
+    run_figure1b,
+)
+from repro.experiments.figure3_wordcount import (
+    Figure3Result,
+    Figure3Settings,
+    run_figure3,
+)
+
+__all__ = [
+    "Figure1GraphResult",
+    "Figure1GraphSettings",
+    "run_figure1c",
+    "Figure1MlResult",
+    "Figure1MlSettings",
+    "run_figure1_ml",
+    "run_figure1a",
+    "run_figure1b",
+    "Figure3Result",
+    "Figure3Settings",
+    "run_figure3",
+]

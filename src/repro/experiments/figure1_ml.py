@@ -1,0 +1,120 @@
+"""Runner for Figure 1(a) and 1(b): tensor-update overlap under SGD and Adam.
+
+Paper setup: a soft-max network trained on MNIST with one parameter server and
+five workers; mini-batch 3 for SGD (Figure 1a) and 100 for Adam (Figure 1b);
+the plotted metric is the per-step percentage of tensor elements updated by
+more than one worker. Paper results: the overlap is roughly constant across
+steps and averages ≈42.5% for SGD and ≈66.5% for Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.reporting import render_series_table
+from repro.mlsys.datasets import Dataset, generate_synthetic_mnist
+from repro.mlsys.training import TrainingConfig, TrainingResult, DistributedTrainingJob
+
+#: Paper-reported average overlaps, used in reports and shape assertions.
+PAPER_SGD_OVERLAP_PERCENT = 42.5
+PAPER_ADAM_OVERLAP_PERCENT = 66.5
+
+
+@dataclass
+class Figure1MlSettings:
+    """Scale knobs for the Figure 1(a,b) runs."""
+
+    num_steps: int = 200
+    num_workers: int = 5
+    sgd_batch_size: int = 3
+    adam_batch_size: int = 100
+    dataset_samples: int = 6_000
+    seed: int = 2017
+
+    def quick(self) -> "Figure1MlSettings":
+        """A fast variant used by unit tests and smoke runs."""
+        return Figure1MlSettings(
+            num_steps=20,
+            num_workers=self.num_workers,
+            sgd_batch_size=self.sgd_batch_size,
+            adam_batch_size=self.adam_batch_size,
+            dataset_samples=2_000,
+            seed=self.seed,
+        )
+
+
+@dataclass
+class Figure1MlResult:
+    """Both sub-figures plus the rendered report."""
+
+    sgd: TrainingResult
+    adam: TrainingResult
+    settings: Figure1MlSettings
+    report: str = ""
+    paper_reference: dict[str, float] = field(
+        default_factory=lambda: {
+            "sgd": PAPER_SGD_OVERLAP_PERCENT,
+            "adam": PAPER_ADAM_OVERLAP_PERCENT,
+        }
+    )
+
+    def summary(self) -> dict[str, float]:
+        """Average overlap per optimizer (the paper's headline numbers)."""
+        return {
+            "sgd_average_overlap_percent": self.sgd.average_overlap(),
+            "adam_average_overlap_percent": self.adam.average_overlap(),
+        }
+
+
+def make_dataset(settings: Figure1MlSettings) -> Dataset:
+    """The shared synthetic MNIST-like dataset for both runs."""
+    return generate_synthetic_mnist(num_samples=settings.dataset_samples, seed=settings.seed)
+
+
+def run_figure1a(settings: Figure1MlSettings | None = None, dataset: Dataset | None = None) -> TrainingResult:
+    """Figure 1(a): SGD, mini-batch 3, five workers."""
+    settings = settings or Figure1MlSettings()
+    dataset = dataset or make_dataset(settings)
+    config = TrainingConfig(
+        optimizer="sgd",
+        batch_size=settings.sgd_batch_size,
+        num_workers=settings.num_workers,
+        num_steps=settings.num_steps,
+        seed=settings.seed,
+    )
+    return DistributedTrainingJob(config, dataset=dataset).run()
+
+
+def run_figure1b(settings: Figure1MlSettings | None = None, dataset: Dataset | None = None) -> TrainingResult:
+    """Figure 1(b): Adam, mini-batch 100, five workers."""
+    settings = settings or Figure1MlSettings()
+    dataset = dataset or make_dataset(settings)
+    config = TrainingConfig(
+        optimizer="adam",
+        batch_size=settings.adam_batch_size,
+        num_workers=settings.num_workers,
+        num_steps=settings.num_steps,
+        seed=settings.seed,
+    )
+    return DistributedTrainingJob(config, dataset=dataset).run()
+
+
+def run_figure1_ml(settings: Figure1MlSettings | None = None) -> Figure1MlResult:
+    """Run both sub-figures on the same dataset and render the report."""
+    settings = settings or Figure1MlSettings()
+    dataset = make_dataset(settings)
+    sgd = run_figure1a(settings, dataset)
+    adam = run_figure1b(settings, dataset)
+    report = render_series_table(
+        title=(
+            "Figure 1(a,b): tensor-update overlap per step "
+            f"(paper averages: SGD {PAPER_SGD_OVERLAP_PERCENT}%, "
+            f"Adam {PAPER_ADAM_OVERLAP_PERCENT}%)"
+        ),
+        series={
+            "SGD (mb=3)": [p / 100.0 for p in sgd.overlap.percentages()],
+            "Adam (mb=100)": [p / 100.0 for p in adam.overlap.percentages()],
+        },
+        index_label="step",
+    )
+    return Figure1MlResult(sgd=sgd, adam=adam, settings=settings, report=report)

@@ -1,0 +1,16 @@
+"""Graph algorithms used by the Figure 1(c) experiment."""
+
+from repro.graph.algorithms.pagerank import DAMPING, PageRankProgram, pagerank
+from repro.graph.algorithms.sssp import INFINITY, SsspProgram, sssp
+from repro.graph.algorithms.wcc import WccProgram, wcc
+
+__all__ = [
+    "DAMPING",
+    "PageRankProgram",
+    "pagerank",
+    "INFINITY",
+    "SsspProgram",
+    "sssp",
+    "WccProgram",
+    "wcc",
+]

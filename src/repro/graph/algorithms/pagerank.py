@@ -1,0 +1,64 @@
+"""PageRank vertex program.
+
+"In PageRank, each vertex starts by sending its PageRank value to all its
+neighbours. Then, each vertex in the next iteration receives and sums the
+various values from its neighbours and calculates a new PageRank value. [...]
+In each iteration, all vertices are active and send messages to their
+neighbours; hence, the traffic reduction ratio is almost the same across all
+iterations." (Section 3.) The combiner is a sum.
+"""
+
+from __future__ import annotations
+
+from repro.core.errors import GraphError
+from repro.graph.combiners import SUM_COMBINER
+from repro.graph.graph import Graph
+from repro.graph.pregel import PregelEngine, PregelResult, VertexContext, VertexProgram
+
+#: Standard PageRank damping factor.
+DAMPING = 0.85
+
+
+class PageRankProgram(VertexProgram):
+    """Fixed-iteration PageRank with a sum combiner."""
+
+    combiner = SUM_COMBINER
+    name = "pagerank"
+
+    def __init__(self, num_iterations: int = 10, damping: float = DAMPING) -> None:
+        if num_iterations <= 0:
+            raise GraphError("num_iterations must be positive")
+        if not 0.0 < damping < 1.0:
+            raise GraphError("damping must lie strictly between 0 and 1")
+        self.num_iterations = num_iterations
+        self.damping = damping
+
+    def initial_state(self, vertex: int, graph: Graph) -> float:
+        return 1.0 / graph.num_vertices
+
+    def compute(self, ctx: VertexContext) -> None:
+        if ctx.superstep > 0:
+            incoming = sum(ctx.messages)
+            new_rank = (1.0 - self.damping) / ctx.num_vertices + self.damping * incoming
+            ctx.set_state(new_rank)
+        else:
+            new_rank = ctx.state
+        if ctx.superstep < self.num_iterations:
+            if ctx.neighbors:
+                ctx.send_to_neighbors(new_rank / len(ctx.neighbors))
+        else:
+            ctx.vote_to_halt()
+
+
+def pagerank(
+    graph: Graph,
+    num_iterations: int = 10,
+    num_workers: int = 4,
+    damping: float = DAMPING,
+) -> PregelResult:
+    """Run PageRank for a fixed number of message-passing iterations."""
+    program = PageRankProgram(num_iterations=num_iterations, damping=damping)
+    # One extra superstep lets the final messages be received and applied.
+    return PregelEngine(graph, program, num_workers=num_workers).run(
+        max_supersteps=num_iterations + 1
+    )

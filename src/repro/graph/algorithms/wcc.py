@@ -1,0 +1,40 @@
+"""Weakly Connected Components vertex program.
+
+"WCC starts by sending large number of messages from all vertices which
+decrease as the algorithm converges." (Section 3.) Every vertex starts with its
+own id as component label and repeatedly adopts the minimum label seen among
+its neighbours; the combiner keeps the minimum label per destination.
+"""
+
+from __future__ import annotations
+
+from repro.graph.combiners import MIN_COMBINER
+from repro.graph.graph import Graph
+from repro.graph.pregel import PregelEngine, PregelResult, VertexContext, VertexProgram
+
+
+class WccProgram(VertexProgram):
+    """Label-propagation connected components with a min combiner."""
+
+    combiner = MIN_COMBINER
+    name = "wcc"
+
+    def initial_state(self, vertex: int, graph: Graph) -> int:
+        return vertex
+
+    def compute(self, ctx: VertexContext) -> None:
+        if ctx.superstep == 0:
+            # Every vertex announces its own id to its neighbours.
+            ctx.send_to_neighbors(ctx.state)
+            ctx.vote_to_halt()
+            return
+        best = min(ctx.messages) if ctx.messages else ctx.state
+        if best < ctx.state:
+            ctx.set_state(best)
+            ctx.send_to_neighbors(best)
+        ctx.vote_to_halt()
+
+
+def wcc(graph: Graph, num_workers: int = 4, max_supersteps: int = 50) -> PregelResult:
+    """Run connected components until convergence (or ``max_supersteps``)."""
+    return PregelEngine(graph, WccProgram(), num_workers=num_workers).run(max_supersteps)

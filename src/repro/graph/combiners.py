@@ -1,0 +1,42 @@
+"""Message combiners.
+
+"The three algorithms are associated with a commutative and associative
+aggregation function" (Section 3): PageRank combines contributions with a sum,
+SSSP and WCC with a minimum. Combiners are exactly the functions DAIET would
+install on the aggregation tree for the corresponding job, so they are defined
+in terms of the shared :mod:`repro.core.functions` registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.errors import GraphError
+from repro.core.functions import MIN, SUM, AggregationFunction
+
+
+@dataclass(frozen=True)
+class Combiner:
+    """A per-destination message combiner."""
+
+    function: AggregationFunction
+
+    def combine(self, messages: Iterable[float]) -> float:
+        """Fold all messages destined to one vertex into a single message."""
+        values = list(messages)
+        if not values:
+            raise GraphError("cannot combine an empty message list")
+        return self.function.reduce(values)
+
+    @property
+    def name(self) -> str:
+        """Registry name of the underlying aggregation function."""
+        return self.function.name
+
+
+#: Combiner used by PageRank (sums the rank contributions).
+SUM_COMBINER = Combiner(function=SUM)
+
+#: Combiner used by SSSP and WCC (keeps the minimum distance / component id).
+MIN_COMBINER = Combiner(function=MIN)

@@ -1,0 +1,82 @@
+"""Per-iteration traffic accounting for Pregel runs (the Figure 1(c) metric).
+
+"The traffic reduction ratio is calculated by combining all the messages sent
+to the same destination into a single message by applying the aggregation
+function used by the algorithm [...] inside the network." (Section 3.)
+
+For every superstep we count the messages the algorithm emits and the number
+of distinct destination vertices; their ratio is the fraction of traffic that
+in-network aggregation could remove. Counters are kept both for all messages
+and for the subset that actually crosses worker boundaries (the traffic a
+network device could see), so the harness can report either view.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.errors import GraphError
+
+
+@dataclass
+class SuperstepTraffic:
+    """Message statistics of one superstep."""
+
+    superstep: int
+    messages: int = 0
+    distinct_destinations: int = 0
+    remote_messages: int = 0
+    distinct_remote_destinations: int = 0
+    active_vertices: int = 0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Traffic-reduction ratio over all messages (the paper's metric)."""
+        if self.messages == 0:
+            return 0.0
+        return 1.0 - self.distinct_destinations / self.messages
+
+    @property
+    def remote_reduction_ratio(self) -> float:
+        """Traffic-reduction ratio over worker-crossing messages only."""
+        if self.remote_messages == 0:
+            return 0.0
+        return 1.0 - self.distinct_remote_destinations / self.remote_messages
+
+
+@dataclass
+class TrafficTrace:
+    """Traffic statistics across the supersteps of one algorithm run."""
+
+    algorithm: str
+    supersteps: list[SuperstepTraffic] = field(default_factory=list)
+
+    def append(self, traffic: SuperstepTraffic) -> None:
+        """Record one superstep."""
+        self.supersteps.append(traffic)
+
+    def reduction_series(self, remote_only: bool = False) -> list[float]:
+        """Per-iteration traffic-reduction ratios (Figure 1(c) y-axis)."""
+        if remote_only:
+            return [s.remote_reduction_ratio for s in self.supersteps]
+        return [s.reduction_ratio for s in self.supersteps]
+
+    def total_messages(self) -> int:
+        """Messages emitted over the whole run."""
+        return sum(s.messages for s in self.supersteps)
+
+    def iterations(self) -> int:
+        """Number of recorded supersteps."""
+        return len(self.supersteps)
+
+    def peak_reduction(self) -> float:
+        """Highest per-iteration reduction ratio."""
+        if not self.supersteps:
+            raise GraphError("traffic trace is empty")
+        return max(self.reduction_series())
+
+    def last(self) -> SuperstepTraffic:
+        """The most recent superstep's statistics."""
+        if not self.supersteps:
+            raise GraphError("traffic trace is empty")
+        return self.supersteps[-1]

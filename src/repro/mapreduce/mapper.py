@@ -1,0 +1,90 @@
+"""Map-task execution.
+
+A map task applies the user map function to its input split, partitions the
+emitted pairs among the reducers and stores each partition in a spill file
+using the fixed-size serialization (so the shuffle can packetize without
+deserializing). For the TCP baseline the per-partition output is additionally
+sorted by key, as the original MapReduce does before serving it to reducers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable
+
+from repro.core.errors import JobError
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.partitioner import HashPartitioner
+from repro.mapreduce.serialization import SpillFile
+
+
+@dataclass
+class MapOutput:
+    """The materialized output of one map task."""
+
+    mapper_id: int
+    host: str
+    partitions: dict[int, list[tuple[str, int]]] = field(default_factory=dict)
+    pairs_emitted: int = 0
+    records_processed: int = 0
+
+    def partition(self, reducer_id: int) -> list[tuple[str, int]]:
+        """Pairs destined to ``reducer_id`` (possibly empty)."""
+        return self.partitions.get(reducer_id, [])
+
+    def sorted_partition(self, reducer_id: int) -> list[tuple[str, int]]:
+        """The partition sorted by key (mapper-side sort of the TCP baseline)."""
+        return sorted(self.partition(reducer_id))
+
+    def serialized_bytes(self, reducer_id: int, pair_bytes: int) -> int:
+        """Size of the partition under the fixed-size representation."""
+        return len(self.partition(reducer_id)) * pair_bytes
+
+    def total_bytes(self, pair_bytes: int) -> int:
+        """Serialized size of the whole map output."""
+        return self.pairs_emitted * pair_bytes
+
+
+class MapTask:
+    """One map task bound to a host of the simulated cluster."""
+
+    def __init__(
+        self,
+        mapper_id: int,
+        host: str,
+        spec: JobSpec,
+        partitioner: HashPartitioner | None = None,
+    ) -> None:
+        if mapper_id < 0:
+            raise JobError("mapper_id must be non-negative")
+        self.mapper_id = mapper_id
+        self.host = host
+        self.spec = spec
+        self.partitioner = partitioner or HashPartitioner(spec.num_reducers)
+        self.spill_files: dict[int, SpillFile] = {}
+
+    def run(self, records: Iterable[Any]) -> MapOutput:
+        """Execute the map function over the input split."""
+        output = MapOutput(mapper_id=self.mapper_id, host=self.host)
+        for record in records:
+            output.records_processed += 1
+            for key, value in self.spec.map_function(record):
+                reducer_id = self.partitioner(key)
+                output.partitions.setdefault(reducer_id, []).append((key, value))
+                output.pairs_emitted += 1
+        self._write_spill_files(output)
+        return output
+
+    def _write_spill_files(self, output: MapOutput) -> None:
+        """Materialize each partition into a fixed-size-record spill file."""
+        for reducer_id, pairs in output.partitions.items():
+            spill = SpillFile(self.spec.daiet)
+            spill.extend(pairs)
+            self.spill_files[reducer_id] = spill
+
+    def spill_file(self, reducer_id: int) -> SpillFile:
+        """The spill file holding the partition for ``reducer_id``."""
+        if reducer_id not in self.spill_files:
+            # An empty partition still has an (empty) spill file.
+            self.spill_files[reducer_id] = SpillFile(self.spec.daiet)
+        return self.spill_files[reducer_id]

@@ -1,0 +1,64 @@
+"""Partitioning of intermediate keys across reducers.
+
+The map output is "partitioned among the reducers" (Section 4). The default
+hash partitioner uses a salted CRC32 so that it is deterministic across runs
+but statistically independent from the in-switch register hash — a correlation
+between the two would make register collisions systematically more (or less)
+likely than in the paper's setup.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.core.errors import JobError
+
+
+class HashPartitioner:
+    """Deterministic hash partitioner mapping keys to reducer indices."""
+
+    def __init__(self, num_partitions: int, salt: str = "daiet-partition") -> None:
+        if num_partitions <= 0:
+            raise JobError("num_partitions must be positive")
+        self.num_partitions = num_partitions
+        self.salt = salt
+
+    def partition(self, key: str) -> int:
+        """Reducer index responsible for ``key``."""
+        data = f"{self.salt}:{key}".encode()
+        return zlib.crc32(data) % self.num_partitions
+
+    def __call__(self, key: str) -> int:
+        return self.partition(key)
+
+    def split(self, pairs: list[tuple[str, int]]) -> dict[int, list[tuple[str, int]]]:
+        """Split a pair list into per-reducer partitions (only non-empty ones)."""
+        partitions: dict[int, list[tuple[str, int]]] = {}
+        for key, value in pairs:
+            index = self.partition(key)
+            partitions.setdefault(index, []).append((key, value))
+        return partitions
+
+
+class RangePartitioner:
+    """Partition keys by lexicographic range boundaries.
+
+    Provided for completeness (some frameworks shuffle with range partitioning
+    to obtain globally sorted output); the DAIET experiments use hashing.
+    """
+
+    def __init__(self, boundaries: list[str]) -> None:
+        if sorted(boundaries) != list(boundaries):
+            raise JobError("range boundaries must be sorted")
+        self.boundaries = list(boundaries)
+        self.num_partitions = len(boundaries) + 1
+
+    def partition(self, key: str) -> int:
+        """Reducer index whose range contains ``key``."""
+        for index, boundary in enumerate(self.boundaries):
+            if key < boundary:
+                return index
+        return len(self.boundaries)
+
+    def __call__(self, key: str) -> int:
+        return self.partition(key)

@@ -1,0 +1,105 @@
+"""Reduce-task execution and its processing-time model.
+
+The reducer receives intermediate pairs either as sorted runs (one per mapper,
+as in the original TCP shuffle) or as an unsorted stream (the DAIET and UDP
+paths, because in-network aggregation cannot preserve ordering). ``finish()``
+does the real work in-process — merging or sorting, grouping and applying the
+user reduce function — and measures the wall-clock time spent, which is the
+"reduce time" metric of Figure 3.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time
+from operator import itemgetter
+from typing import Any
+
+from repro.core.errors import JobError
+from repro.mapreduce.job import JobSpec, ReducerMetrics
+
+
+class ReduceTask:
+    """One reduce task bound to a host of the simulated cluster."""
+
+    def __init__(self, reducer_id: int, host: str, spec: JobSpec) -> None:
+        if reducer_id < 0:
+            raise JobError("reducer_id must be non-negative")
+        self.reducer_id = reducer_id
+        self.host = host
+        self.spec = spec
+        self.metrics = ReducerMetrics(reducer_id=reducer_id, host=host)
+        self._sorted_runs: list[list[tuple[str, int]]] = []
+        self._unsorted: list[tuple[str, int]] = []
+        self._finished = False
+        self.output: dict[str, Any] = {}
+
+    # ------------------------------------------------------------------ #
+    # Input collection
+    # ------------------------------------------------------------------ #
+    def add_sorted_run(self, pairs: list[tuple[str, int]], from_network: bool = True) -> None:
+        """Add one mapper's pre-sorted partition (original shuffle path)."""
+        self._check_open()
+        if pairs:
+            self._sorted_runs.append(list(pairs))
+        self._account_pairs(len(pairs), from_network)
+
+    def add_unsorted_pairs(self, pairs: list[tuple[str, int]], from_network: bool = True) -> None:
+        """Add unordered pairs (DAIET flushes or the UDP baseline)."""
+        self._check_open()
+        self._unsorted.extend(pairs)
+        self._account_pairs(len(pairs), from_network)
+
+    def _account_pairs(self, count: int, from_network: bool) -> None:
+        if from_network:
+            self.metrics.pairs_received += count
+        else:
+            self.metrics.local_pairs += count
+
+    def _check_open(self) -> None:
+        if self._finished:
+            raise JobError(f"reduce task {self.reducer_id} already finished")
+
+    @property
+    def pending_pairs(self) -> int:
+        """Number of pairs buffered and not yet reduced."""
+        return sum(len(run) for run in self._sorted_runs) + len(self._unsorted)
+
+    # ------------------------------------------------------------------ #
+    # Reduce phase
+    # ------------------------------------------------------------------ #
+    def finish(self) -> dict[str, Any]:
+        """Sort/merge the buffered pairs, apply the reduce function, time it."""
+        self._check_open()
+        start = time.perf_counter()
+        runs = [run for run in self._sorted_runs if run]
+        if self._unsorted:
+            # DAIET delivers unordered results: the reducer must perform the
+            # full sort itself (Section 4: "the intermediate results must be
+            # sorted at the reducer rather than at the mapper").
+            runs.append(sorted(self._unsorted))
+        if len(runs) == 1:
+            merged = iter(runs[0])
+        else:
+            merged = heapq.merge(*runs, key=itemgetter(0))
+
+        output: dict[str, Any] = {}
+        current_key: str | None = None
+        current_values: list[int] = []
+        for key, value in merged:
+            if key != current_key:
+                if current_key is not None:
+                    output[current_key] = self.spec.reduce_function(current_key, current_values)
+                current_key = key
+                current_values = [value]
+            else:
+                current_values.append(value)
+        if current_key is not None:
+            output[current_key] = self.spec.reduce_function(current_key, current_values)
+
+        elapsed = time.perf_counter() - start
+        self.metrics.reduce_seconds = elapsed
+        self.metrics.output_keys = len(output)
+        self.output = output
+        self._finished = True
+        return output

@@ -1,0 +1,126 @@
+"""Fixed-size serialization of intermediate key-value pairs.
+
+Section 4: "we use a fixed-size representation for the pairs, so that it is
+easy to calculate the offsets of pairs in the file and extract a number of
+complete pairs" — the map output is written to the local spill file in exactly
+the format that later goes on the wire, so packetization never has to
+deserialize records. This module implements that representation (16-byte
+padded keys, 4-byte big-endian integer values by default) plus helpers to
+compute serialized sizes, which the baselines use to account bytes.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterable, Iterator, Sequence
+
+from repro.core.config import DaietConfig
+from repro.core.errors import PacketFormatError
+
+
+def serialized_pair_bytes(config: DaietConfig | None = None) -> int:
+    """Size of one serialized pair under the fixed-size representation."""
+    config = config or DaietConfig()
+    return config.pair_bytes
+
+
+def serialized_size(num_pairs: int, config: DaietConfig | None = None) -> int:
+    """Size of ``num_pairs`` serialized pairs."""
+    if num_pairs < 0:
+        raise PacketFormatError("num_pairs must be non-negative")
+    return num_pairs * serialized_pair_bytes(config)
+
+
+def encode_pair(key: str, value: int, config: DaietConfig | None = None) -> bytes:
+    """Serialize a single pair with key padding and a fixed-width value."""
+    config = config or DaietConfig()
+    key_bytes = key.encode()
+    if len(key_bytes) > config.key_width:
+        raise PacketFormatError(
+            f"key {key!r} is {len(key_bytes)} B, exceeding the fixed key width "
+            f"of {config.key_width} B"
+        )
+    try:
+        value_bytes = value.to_bytes(config.value_width, "big", signed=True)
+    except OverflowError as exc:
+        raise PacketFormatError(
+            f"value {value} does not fit in {config.value_width} bytes"
+        ) from exc
+    return key_bytes.ljust(config.key_width, b"\x00") + value_bytes
+
+
+def encode_pairs(pairs: Iterable[tuple[str, int]], config: DaietConfig | None = None) -> bytes:
+    """Serialize a sequence of pairs into one spill-file blob."""
+    config = config or DaietConfig()
+    return b"".join(encode_pair(key, value, config) for key, value in pairs)
+
+
+def decode_pairs(data: bytes, config: DaietConfig | None = None) -> list[tuple[str, int]]:
+    """Deserialize a spill-file blob back into pairs."""
+    config = config or DaietConfig()
+    pair_bytes = config.pair_bytes
+    if len(data) % pair_bytes != 0:
+        raise PacketFormatError(
+            f"blob of {len(data)} B is not a multiple of the {pair_bytes} B pair size"
+        )
+    pairs: list[tuple[str, int]] = []
+    for offset in range(0, len(data), pair_bytes):
+        key_bytes = data[offset : offset + config.key_width].rstrip(b"\x00")
+        value_bytes = data[offset + config.key_width : offset + pair_bytes]
+        pairs.append((key_bytes.decode(), int.from_bytes(value_bytes, "big", signed=True)))
+    return pairs
+
+
+def iter_complete_pairs(
+    pairs: Sequence[tuple[str, int]],
+    pairs_per_chunk: int,
+) -> Iterator[Sequence[tuple[str, int]]]:
+    """Yield chunks of at most ``pairs_per_chunk`` complete pairs.
+
+    This mirrors how the DAIET sender walks the spill file: because records are
+    fixed size, it can always cut the stream at a pair boundary and never emits
+    a partial pair.
+    """
+    if pairs_per_chunk <= 0:
+        raise PacketFormatError("pairs_per_chunk must be positive")
+    for start in range(0, len(pairs), pairs_per_chunk):
+        yield pairs[start : start + pairs_per_chunk]
+
+
+class SpillFile:
+    """An in-memory stand-in for a mapper's local spill file.
+
+    Records are appended in serialized form; readers can extract any number of
+    complete pairs without deserializing the rest, exactly as the paper's
+    modified MapReduce does when packetizing.
+    """
+
+    def __init__(self, config: DaietConfig | None = None) -> None:
+        self.config = config or DaietConfig()
+        self._buffer = bytearray()
+        self.pairs_written = 0
+
+    def append(self, key: str, value: int) -> None:
+        """Append one pair to the spill file."""
+        self._buffer.extend(encode_pair(key, value, self.config))
+        self.pairs_written += 1
+
+    def extend(self, pairs: Iterable[tuple[str, int]]) -> None:
+        """Append many pairs."""
+        for key, value in pairs:
+            self.append(key, value)
+
+    def size_bytes(self) -> int:
+        """Current serialized size."""
+        return len(self._buffer)
+
+    def read_pairs(self, start_pair: int = 0, count: int | None = None) -> list[tuple[str, int]]:
+        """Read ``count`` complete pairs starting at pair index ``start_pair``."""
+        pair_bytes = self.config.pair_bytes
+        start = start_pair * pair_bytes
+        end = len(self._buffer) if count is None else start + count * pair_bytes
+        return decode_pairs(bytes(self._buffer[start:end]), self.config)
+
+    def all_pairs(self) -> list[tuple[str, int]]:
+        """Every pair in the file."""
+        return self.read_pairs()

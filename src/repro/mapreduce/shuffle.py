@@ -1,0 +1,233 @@
+"""Shuffle transports: how map output reaches the reducers.
+
+The paper's evaluation compares three shuffle paths over the same job:
+
+1. the original TCP-based exchange (baseline i, :class:`repro.baselines.
+   tcp_shuffle.TcpShuffle`),
+2. UDP with the DAIET protocol but no switch aggregation (baseline ii,
+   :class:`repro.baselines.udp_shuffle.UdpShuffle`),
+3. DAIET with in-network aggregation (:class:`DaietShuffle`, below).
+
+All three implement :class:`ShuffleTransport`, so the
+:class:`~repro.mapreduce.master.MapReduceMaster` can run the identical job over
+any of them and the benchmark harness can compute the reduction ratios of
+Figure 3 from the per-reducer metrics.
+
+Map output destined to a reducer co-located on the same worker host never
+crosses the network (it is handed over locally), consistently across all
+transports, so comparisons stay fair.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.core.config import DaietConfig
+from repro.core.controller import DaietController, InstalledJob
+from repro.core.errors import JobError
+from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
+from repro.mapreduce.cluster import Cluster
+from repro.mapreduce.job import JobSpec, TaskPlacement
+from repro.mapreduce.mapper import MapOutput
+from repro.mapreduce.reducer import ReduceTask
+
+
+@dataclass
+class ShuffleAccounting:
+    """Sender-side accounting shared by every transport."""
+
+    packets_sent: int = 0
+    payload_bytes_sent: int = 0
+    local_pairs: int = 0
+    network_pairs: int = 0
+
+
+class ShuffleTransport(ABC):
+    """Interface of a shuffle path between map and reduce tasks."""
+
+    #: Human-readable transport name, used in results and reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.accounting = ShuffleAccounting()
+        self._cluster: Cluster | None = None
+        self._spec: JobSpec | None = None
+        self._placement: TaskPlacement | None = None
+        self._reduce_tasks: dict[int, ReduceTask] = {}
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def prepare(
+        self,
+        cluster: Cluster,
+        spec: JobSpec,
+        placement: TaskPlacement,
+        reduce_tasks: dict[int, ReduceTask],
+    ) -> None:
+        """Install receivers (and any network state) before the map phase."""
+        self._cluster = cluster
+        self._spec = spec
+        self._placement = placement
+        self._reduce_tasks = reduce_tasks
+        self._prepare()
+
+    @abstractmethod
+    def _prepare(self) -> None:
+        """Transport-specific preparation."""
+
+    @abstractmethod
+    def transfer(self, map_outputs: list[MapOutput]) -> None:
+        """Inject the map output into the network (and local hand-offs)."""
+
+    @abstractmethod
+    def finalize(self) -> None:
+        """Deliver buffered network input to the reduce tasks after the run."""
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def cluster(self) -> Cluster:
+        if self._cluster is None:
+            raise JobError("shuffle transport used before prepare()")
+        return self._cluster
+
+    @property
+    def spec(self) -> JobSpec:
+        if self._spec is None:
+            raise JobError("shuffle transport used before prepare()")
+        return self._spec
+
+    @property
+    def placement(self) -> TaskPlacement:
+        if self._placement is None:
+            raise JobError("shuffle transport used before prepare()")
+        return self._placement
+
+    def reduce_task(self, reducer_id: int) -> ReduceTask:
+        """The reduce task with the given id."""
+        try:
+            return self._reduce_tasks[reducer_id]
+        except KeyError as exc:
+            raise JobError(f"no reduce task with id {reducer_id}") from exc
+
+    def pairs_by_host(
+        self, map_outputs: list[MapOutput], reducer_id: int
+    ) -> dict[str, list[tuple[str, int]]]:
+        """Group the pairs destined to one reducer by sending mapper host.
+
+        The DAIET host shim combines the output of co-located map tasks into a
+        single stream per (host, reducer) pair, terminated by one END packet,
+        which is also what keeps the switch's children count host-based.
+        """
+        grouped: dict[str, list[tuple[str, int]]] = defaultdict(list)
+        for output in map_outputs:
+            pairs = output.partition(reducer_id)
+            if pairs:
+                grouped[output.host].extend(pairs)
+            else:
+                # A mapper with an empty partition still participates in the
+                # END protocol, so record the host with no pairs.
+                grouped.setdefault(output.host, [])
+        return dict(grouped)
+
+
+@dataclass
+class _DaietReducerBuffer:
+    """Per-reducer network input buffered by the DAIET shuffle."""
+
+    tree_id: int
+    expected_ends: int
+    pairs: list[tuple[str, int]] = field(default_factory=list)
+    payload_bytes: int = 0
+    ends_seen: int = 0
+    data_packets: int = 0
+
+    @property
+    def done(self) -> bool:
+        return self.ends_seen >= self.expected_ends
+
+
+class DaietShuffle(ShuffleTransport):
+    """The paper's shuffle: DAIET packets aggregated inside the switches."""
+
+    name = "daiet"
+
+    def __init__(self, config: DaietConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or DaietConfig()
+        self.controller: DaietController | None = None
+        self.job: InstalledJob | None = None
+        self._buffers: dict[int, _DaietReducerBuffer] = {}
+
+    def _prepare(self) -> None:
+        self.controller = DaietController(self.cluster.topology, self.config)
+        mapper_hosts = sorted(set(self.placement.mapper_hosts))
+        reducer_hosts = list(self.placement.reducer_hosts)
+        self.job = self.controller.install_job(
+            mappers=mapper_hosts,
+            reducers=reducer_hosts,
+            function=self.spec.aggregation,
+        )
+        for reducer_id, host in enumerate(reducer_hosts):
+            tree = self.job.tree_for_reducer(host)
+            buffer = _DaietReducerBuffer(
+                tree_id=tree.tree_id,
+                expected_ends=tree.children_count(host),
+            )
+            self._buffers[reducer_id] = buffer
+            self.cluster.simulator.host(host).set_receiver(
+                self._make_receiver(buffer)
+            )
+
+    @staticmethod
+    def _make_receiver(buffer: _DaietReducerBuffer):
+        def receive(packet) -> None:
+            if not isinstance(packet, DaietPacket) or packet.tree_id != buffer.tree_id:
+                return
+            buffer.payload_bytes += packet.payload_bytes()
+            if packet.packet_type is DaietPacketType.END:
+                buffer.ends_seen += 1
+                return
+            buffer.data_packets += 1
+            buffer.pairs.extend(packet.pairs)
+
+        return receive
+
+    def transfer(self, map_outputs: list[MapOutput]) -> None:
+        if self.job is None:
+            raise JobError("DaietShuffle.transfer() called before prepare()")
+        for reducer_id, reducer_host in enumerate(self.placement.reducer_hosts):
+            tree = self.job.tree_for_reducer(reducer_host)
+            for mapper_host, pairs in self.pairs_by_host(map_outputs, reducer_id).items():
+                if mapper_host == reducer_host:
+                    # Local partition: handed to the reduce task directly.
+                    self.reduce_task(reducer_id).add_unsorted_pairs(pairs, from_network=False)
+                    self.accounting.local_pairs += len(pairs)
+                    continue
+                self.accounting.network_pairs += len(pairs)
+                for packet in packetize_pairs(
+                    pairs,
+                    tree_id=tree.tree_id,
+                    src=mapper_host,
+                    dst=reducer_host,
+                    config=self.config,
+                    include_end=True,
+                ):
+                    self.cluster.simulator.send(mapper_host, packet)
+                    self.accounting.packets_sent += 1
+                    self.accounting.payload_bytes_sent += packet.payload_bytes()
+
+    def finalize(self) -> None:
+        for reducer_id, buffer in self._buffers.items():
+            if not buffer.done:
+                raise JobError(
+                    f"reducer {reducer_id} finished with {buffer.ends_seen} END "
+                    f"packets out of {buffer.expected_ends} expected"
+                )
+            task = self.reduce_task(reducer_id)
+            task.add_unsorted_pairs(buffer.pairs, from_network=True)
+            task.metrics.payload_bytes_received += buffer.payload_bytes

@@ -1,0 +1,91 @@
+"""Optimizers applied by the parameter server.
+
+The Figure 1 experiments use mini-batch Stochastic Gradient Descent and Adam
+(Kingma & Ba, 2014). In the parameter-server architecture workers send raw
+gradients; the server aggregates them (a vector addition — the operation DAIET
+can offload) and applies the optimizer to the shared parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import TrainingError
+
+
+class Optimizer:
+    """Base class: stateful update rule applied to named tensors."""
+
+    name = "optimizer"
+
+    def apply(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        """Update ``parameters`` in place using ``gradients``."""
+        raise NotImplementedError
+
+
+@dataclass
+class SGD(Optimizer):
+    """Plain mini-batch stochastic gradient descent."""
+
+    learning_rate: float = 0.1
+    name: str = "sgd"
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+
+    def apply(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        for name, grad in gradients.items():
+            if name not in parameters:
+                raise TrainingError(f"gradient for unknown tensor {name!r}")
+            parameters[name] -= self.learning_rate * grad
+
+
+@dataclass
+class Adam(Optimizer):
+    """Adam optimizer (bias-corrected first and second moments)."""
+
+    learning_rate: float = 0.001
+    beta1: float = 0.9
+    beta2: float = 0.999
+    epsilon: float = 1e-8
+    name: str = "adam"
+    _m: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _v: dict[str, np.ndarray] = field(default_factory=dict, repr=False)
+    _t: int = 0
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise TrainingError("learning_rate must be positive")
+        if not 0.0 <= self.beta1 < 1.0 or not 0.0 <= self.beta2 < 1.0:
+            raise TrainingError("beta1 and beta2 must lie in [0, 1)")
+
+    def apply(self, parameters: dict[str, np.ndarray], gradients: dict[str, np.ndarray]) -> None:
+        self._t += 1
+        for name, grad in gradients.items():
+            if name not in parameters:
+                raise TrainingError(f"gradient for unknown tensor {name!r}")
+            if name not in self._m:
+                self._m[name] = np.zeros_like(parameters[name])
+                self._v[name] = np.zeros_like(parameters[name])
+            m = self._m[name]
+            v = self._v[name]
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * np.square(grad)
+            m_hat = m / (1.0 - self.beta1**self._t)
+            v_hat = v / (1.0 - self.beta2**self._t)
+            parameters[name] -= self.learning_rate * m_hat / (np.sqrt(v_hat) + self.epsilon)
+
+
+def make_optimizer(name: str, **kwargs: float) -> Optimizer:
+    """Factory used by the training driver and the benchmark harness."""
+    lowered = name.lower()
+    if lowered == "sgd":
+        return SGD(**kwargs)  # type: ignore[arg-type]
+    if lowered == "adam":
+        return Adam(**kwargs)  # type: ignore[arg-type]
+    raise TrainingError(f"unknown optimizer {name!r} (expected 'sgd' or 'adam')")

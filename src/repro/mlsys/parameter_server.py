@@ -1,0 +1,107 @@
+"""Parameter server.
+
+"Workers are responsible for compute-intensive tasks while the parameter
+server stores and maintains a set of shared parameters [...] In each iteration,
+the worker sends its parameter updates to the server which aggregates the local
+updates from each worker." (Section 3.) The aggregation is a per-element sum —
+the commutative/associative operation DAIET can execute inside the network.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import TrainingError
+from repro.mlsys.model import GradientUpdate
+from repro.mlsys.optimizers import Optimizer
+
+
+@dataclass
+class ServerTrafficStats:
+    """What the parameter server receives per step, with and without aggregation.
+
+    ``elements_received`` counts every non-zero element sent by every worker
+    (what crosses the network without in-network aggregation);
+    ``unique_elements`` counts the distinct tensor elements updated this step
+    (what would arrive if the network had already summed overlapping updates).
+    The per-step ratio of the two is exactly the traffic-reduction opportunity
+    the overlap study quantifies.
+    """
+
+    step: int
+    elements_received: int = 0
+    unique_elements: int = 0
+
+    @property
+    def reduction_ratio(self) -> float:
+        """Fraction of update traffic in-network aggregation would remove."""
+        if self.elements_received == 0:
+            return 0.0
+        return 1.0 - self.unique_elements / self.elements_received
+
+
+class ParameterServer:
+    """Synchronous parameter server aggregating worker gradients per step."""
+
+    def __init__(self, parameters: dict[str, np.ndarray], optimizer: Optimizer) -> None:
+        if not parameters:
+            raise TrainingError("parameter server needs at least one tensor")
+        self._parameters = {name: tensor.copy() for name, tensor in parameters.items()}
+        self.optimizer = optimizer
+        self.steps_applied = 0
+        self.traffic: list[ServerTrafficStats] = []
+
+    # ------------------------------------------------------------------ #
+    # Worker-facing API
+    # ------------------------------------------------------------------ #
+    def pull(self) -> dict[str, np.ndarray]:
+        """Current parameter snapshot (what workers fetch at step start)."""
+        return {name: tensor.copy() for name, tensor in self._parameters.items()}
+
+    def push(self, updates: list[GradientUpdate]) -> ServerTrafficStats:
+        """Aggregate one synchronous round of worker updates and apply them."""
+        if not updates:
+            raise TrainingError("push() needs at least one worker update")
+        stats = ServerTrafficStats(step=self.steps_applied)
+        aggregated: dict[str, np.ndarray] = {
+            name: np.zeros_like(tensor) for name, tensor in self._parameters.items()
+        }
+        touched: dict[str, np.ndarray] = {
+            name: np.zeros(tensor.size, dtype=bool) for name, tensor in self._parameters.items()
+        }
+        for update in updates:
+            for name, grad in update.gradients.items():
+                if name not in aggregated:
+                    raise TrainingError(f"update for unknown tensor {name!r}")
+                if grad.shape != aggregated[name].shape:
+                    raise TrainingError(
+                        f"gradient shape mismatch for {name!r}: {grad.shape} vs "
+                        f"{aggregated[name].shape}"
+                    )
+                aggregated[name] += grad
+                nonzero = np.flatnonzero(grad)
+                stats.elements_received += nonzero.size
+                touched[name][nonzero] = True
+        stats.unique_elements = int(sum(mask.sum() for mask in touched.values()))
+
+        # Average the summed gradients over the number of workers so that the
+        # learning rate is independent of the worker count.
+        for name in aggregated:
+            aggregated[name] /= len(updates)
+        self.optimizer.apply(self._parameters, aggregated)
+        self.steps_applied += 1
+        self.traffic.append(stats)
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def parameters(self) -> dict[str, np.ndarray]:
+        """Reference to the live parameter tensors (read-only by convention)."""
+        return self._parameters
+
+    def traffic_reduction_series(self) -> list[float]:
+        """Per-step reduction ratio achievable by in-network aggregation."""
+        return [stats.reduction_ratio for stats in self.traffic]

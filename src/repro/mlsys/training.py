@@ -1,0 +1,160 @@
+"""Distributed training driver (the Figure 1(a,b) experiment).
+
+Reproduces the paper's setup: one parameter server plus N workers (five in the
+paper) training a soft-max model, synchronously, with either mini-batch SGD
+(batch size 3) or Adam (batch size 100). At every step the per-worker updates
+are measured for cross-worker overlap before the server aggregates them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.errors import TrainingError
+from repro.mlsys.datasets import Dataset, generate_synthetic_mnist
+from repro.mlsys.model import SoftmaxModel
+from repro.mlsys.optimizers import make_optimizer
+from repro.mlsys.overlap import OverlapSeries, measure_step_overlap
+from repro.mlsys.parameter_server import ParameterServer
+from repro.mlsys.worker import Worker
+
+
+@dataclass
+class TrainingConfig:
+    """Configuration of one distributed training run."""
+
+    optimizer: str = "sgd"
+    batch_size: int = 3
+    num_workers: int = 5
+    num_steps: int = 200
+    seed: int = 2017
+    learning_rate: float | None = None
+    #: Tensors whose updates are measured for overlap; ``None`` means all.
+    measured_tensors: tuple[str, ...] | None = None
+    overlap_denominator: str = "all"
+
+    def __post_init__(self) -> None:
+        if self.num_workers <= 0:
+            raise TrainingError("num_workers must be positive")
+        if self.num_steps <= 0:
+            raise TrainingError("num_steps must be positive")
+        if self.batch_size <= 0:
+            raise TrainingError("batch_size must be positive")
+
+    @classmethod
+    def paper_sgd(cls, num_steps: int = 200, **overrides: object) -> "TrainingConfig":
+        """The paper's SGD configuration: mini-batch 3, five workers."""
+        return cls(optimizer="sgd", batch_size=3, num_steps=num_steps, **overrides)  # type: ignore[arg-type]
+
+    @classmethod
+    def paper_adam(cls, num_steps: int = 200, **overrides: object) -> "TrainingConfig":
+        """The paper's Adam configuration: mini-batch 100, five workers."""
+        return cls(optimizer="adam", batch_size=100, num_steps=num_steps, **overrides)  # type: ignore[arg-type]
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of a distributed training run."""
+
+    config: TrainingConfig
+    overlap: OverlapSeries
+    losses: list[float] = field(default_factory=list)
+    final_accuracy: float = 0.0
+    server_traffic_reduction: list[float] = field(default_factory=list)
+
+    def average_overlap(self) -> float:
+        """Mean per-step overlap percentage (the paper's headline number)."""
+        return self.overlap.average()
+
+
+class DistributedTrainingJob:
+    """Synchronous parameter-server training of the soft-max model."""
+
+    def __init__(self, config: TrainingConfig, dataset: Dataset | None = None) -> None:
+        self.config = config
+        self.dataset = dataset or generate_synthetic_mnist(seed=config.seed)
+        self.model = SoftmaxModel(
+            num_features=self.dataset.num_features,
+            num_classes=self.dataset.num_classes,
+            seed=config.seed,
+        )
+        optimizer_kwargs = {}
+        if config.learning_rate is not None:
+            optimizer_kwargs["learning_rate"] = config.learning_rate
+        self.server = ParameterServer(
+            self.model.get_parameters(), make_optimizer(config.optimizer, **optimizer_kwargs)
+        )
+        self.workers = [
+            Worker(
+                worker_id=i,
+                dataset=self.dataset.shard(config.num_workers, i),
+                batch_size=config.batch_size,
+                seed=config.seed,
+            )
+            for i in range(config.num_workers)
+        ]
+
+    def run(self) -> TrainingResult:
+        """Run the configured number of synchronous steps."""
+        overlap = OverlapSeries(
+            optimizer=self.config.optimizer,
+            batch_size=self.config.batch_size,
+            num_workers=self.config.num_workers,
+        )
+        losses: list[float] = []
+        for step in range(self.config.num_steps):
+            parameters = self.server.pull()
+            updates = [worker.compute_update(parameters, step) for worker in self.workers]
+            overlap.append(
+                measure_step_overlap(
+                    updates,
+                    tensors=self.config.measured_tensors,
+                    denominator=self.config.overlap_denominator,
+                )
+            )
+            self.server.push(updates)
+            if step % 10 == 0 or step == self.config.num_steps - 1:
+                losses.append(self._evaluate_loss())
+
+        result = TrainingResult(config=self.config, overlap=overlap, losses=losses)
+        result.final_accuracy = self._evaluate_accuracy()
+        result.server_traffic_reduction = self.server.traffic_reduction_series()
+        return result
+
+    # ------------------------------------------------------------------ #
+    # Evaluation helpers (on a fixed subset to keep runs fast)
+    # ------------------------------------------------------------------ #
+    def _eval_slice(self) -> tuple[np.ndarray, np.ndarray]:
+        size = min(2000, len(self.dataset))
+        return self.dataset.images[:size], self.dataset.labels[:size]
+
+    def _evaluate_loss(self) -> float:
+        images, labels = self._eval_slice()
+        self.model.set_parameters(self.server.parameters())
+        return self.model.loss(images, labels)
+
+    def _evaluate_accuracy(self) -> float:
+        images, labels = self._eval_slice()
+        self.model.set_parameters(self.server.parameters())
+        return self.model.accuracy(images, labels)
+
+
+def run_overlap_experiment(
+    optimizer: str,
+    batch_size: int,
+    num_steps: int = 200,
+    num_workers: int = 5,
+    seed: int = 2017,
+    dataset: Dataset | None = None,
+) -> TrainingResult:
+    """One-call helper used by the Figure 1(a,b) benchmarks and examples."""
+    config = TrainingConfig(
+        optimizer=optimizer,
+        batch_size=batch_size,
+        num_steps=num_steps,
+        num_workers=num_workers,
+        seed=seed,
+    )
+    return DistributedTrainingJob(config, dataset=dataset).run()

@@ -1,0 +1,67 @@
+"""Data-center network simulator substrate.
+
+Provides the discrete-event engine (:mod:`events`), link and device models
+(:mod:`links`, :mod:`devices`), topology builders (:mod:`topology`), routing
+(:mod:`routing`), traffic accounting (:mod:`stats`) and the simulator facade
+(:mod:`simulator`).
+"""
+
+from repro.netsim.devices import (
+    DAIET_TABLE,
+    FORWARDING_TABLE,
+    Device,
+    Host,
+    HostCounters,
+    SwitchDevice,
+    packet_wire_bytes,
+)
+from repro.netsim.events import Event, EventScheduler
+from repro.netsim.links import (
+    DEFAULT_BANDWIDTH_BPS,
+    DEFAULT_PROPAGATION_S,
+    DirectionCounters,
+    Endpoint,
+    Link,
+)
+from repro.netsim.routing import (
+    RoutingState,
+    compute_routes,
+    host_uplink_switch,
+    install_forwarding_rules,
+    path_switches,
+    shortest_path,
+)
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
+from repro.netsim.stats import PerDeviceTraffic, TrafficStats
+from repro.netsim.topology import Topology, fat_tree, leaf_spine, single_rack
+
+__all__ = [
+    "DAIET_TABLE",
+    "FORWARDING_TABLE",
+    "Device",
+    "Host",
+    "HostCounters",
+    "SwitchDevice",
+    "packet_wire_bytes",
+    "Event",
+    "EventScheduler",
+    "DEFAULT_BANDWIDTH_BPS",
+    "DEFAULT_PROPAGATION_S",
+    "DirectionCounters",
+    "Endpoint",
+    "Link",
+    "RoutingState",
+    "compute_routes",
+    "host_uplink_switch",
+    "install_forwarding_rules",
+    "path_switches",
+    "shortest_path",
+    "NetworkSimulator",
+    "SimulatorConfig",
+    "PerDeviceTraffic",
+    "TrafficStats",
+    "Topology",
+    "fat_tree",
+    "leaf_spine",
+    "single_rack",
+]

@@ -1,0 +1,158 @@
+"""Network devices: hosts and switches.
+
+Devices are passive objects driven by the :class:`~repro.netsim.simulator.
+NetworkSimulator`: the simulator delivers a packet to a device's
+:meth:`handle_packet` and transmits whatever the device returns. Hosts deliver
+packets to a registered application receiver; switch devices wrap a
+:class:`~repro.dataplane.switch.ProgrammableSwitch`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import TopologyError
+from repro.dataplane.actions import ForwardAction, PacketContext
+from repro.dataplane.switch import ProgrammableSwitch
+from repro.dataplane.tables import MatchActionTable
+
+#: Signature of an application-level packet receiver installed on a host.
+PacketReceiver = Callable[[Any], None]
+
+#: Name of the destination-based forwarding table installed on every switch.
+FORWARDING_TABLE = "l3_forward"
+
+#: Name of the DAIET steering table installed on every switch (matched on tree id).
+DAIET_TABLE = "daiet_steer"
+
+
+@dataclass
+class HostCounters:
+    """Traffic counters observed at a host NIC."""
+
+    packets_received: int = 0
+    bytes_received: int = 0
+    packets_sent: int = 0
+    bytes_sent: int = 0
+
+
+class Device:
+    """Base class of every addressable node in the topology."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def handle_packet(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+        """Consume a packet arriving on ``ingress_port``.
+
+        Returns a list of ``(egress_port, packet)`` transmissions the device
+        wants to make in response.
+        """
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"{type(self).__name__}({self.name!r})"
+
+
+class Host(Device):
+    """An end host with a single NIC port and an application receiver."""
+
+    def __init__(self, name: str) -> None:
+        super().__init__(name)
+        self.counters = HostCounters()
+        self._receiver: PacketReceiver | None = None
+        self.received_packets: list[Any] = []
+        #: When True, every received packet is also appended to
+        #: ``received_packets`` (useful in tests; disabled for large runs).
+        self.record_packets = False
+
+    def set_receiver(self, receiver: PacketReceiver) -> None:
+        """Install the application callback invoked for every delivered packet."""
+        self._receiver = receiver
+
+    def handle_packet(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+        self.counters.packets_received += 1
+        self.counters.bytes_received += packet_wire_bytes(packet)
+        if self.record_packets:
+            self.received_packets.append(packet)
+        if self._receiver is not None:
+            self._receiver(packet)
+        return []
+
+    def note_sent(self, packet: Any) -> None:
+        """Account a packet handed to the simulator for transmission."""
+        self.counters.packets_sent += 1
+        self.counters.bytes_sent += packet_wire_bytes(packet)
+
+
+class SwitchDevice(Device):
+    """Topology wrapper around a :class:`ProgrammableSwitch`.
+
+    The wrapper owns the standard two-table pipeline used throughout the
+    reproduction:
+
+    * ``daiet_steer`` — exact match on ``tree_id``; the DAIET controller
+      installs rules here that hand matching packets to the per-switch
+      aggregation extern.
+    * ``l3_forward`` — exact match on ``dst``; the routing module installs one
+      entry per reachable host.
+    """
+
+    def __init__(self, name: str, num_ports: int = 64, switch: ProgrammableSwitch | None = None) -> None:
+        super().__init__(name)
+        self.switch = switch or ProgrammableSwitch(name=name, num_ports=num_ports)
+        self._build_standard_pipeline()
+
+    def _build_standard_pipeline(self) -> None:
+        pipeline = self.switch.pipeline
+        metadata_stage = pipeline.add_stage("extract_metadata")
+        metadata_stage.add_extern(_extract_packet_metadata)
+
+        daiet_stage = pipeline.add_stage("daiet")
+        daiet_table = MatchActionTable(DAIET_TABLE, match_fields=("tree_id",), match_kind="exact")
+        daiet_stage.add_table(daiet_table)
+
+        forward_stage = pipeline.add_stage("forward")
+        forward_table = MatchActionTable(FORWARDING_TABLE, match_fields=("dst",), match_kind="exact")
+        forward_table.register_action("forward", ForwardAction)
+        forward_stage.add_table(forward_table)
+
+    @property
+    def daiet_table(self) -> MatchActionTable:
+        """The DAIET steering table."""
+        return self.switch.pipeline.tables()[DAIET_TABLE]
+
+    @property
+    def forwarding_table(self) -> MatchActionTable:
+        """The destination-based forwarding table."""
+        return self.switch.pipeline.tables()[FORWARDING_TABLE]
+
+    def handle_packet(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+        return self.switch.receive(packet, ingress_port)
+
+
+def packet_wire_bytes(packet: Any) -> int:
+    """Serialized size of a packet object, as carried on the wire."""
+    size_fn = getattr(packet, "wire_bytes", None)
+    if callable(size_fn):
+        return int(size_fn())
+    length = getattr(packet, "length", None)
+    if isinstance(length, int):
+        return length
+    raise TopologyError(
+        f"packet of type {type(packet).__name__} does not expose wire_bytes()/length"
+    )
+
+
+def _extract_packet_metadata(ctx: PacketContext) -> None:
+    """Copy addressing fields from the packet into pipeline metadata.
+
+    This plays the role of the P4 parser writing extracted header fields into
+    the metadata struct consumed by the match-action tables.
+    """
+    packet = ctx.packet
+    ctx.metadata["dst"] = getattr(packet, "dst", None)
+    ctx.metadata["src"] = getattr(packet, "src", None)
+    ctx.metadata["tree_id"] = getattr(packet, "tree_id", None)
+    ctx.metadata["packet_type"] = getattr(packet, "packet_type", None)

@@ -1,0 +1,130 @@
+"""Discrete-event engine used by the network simulator.
+
+A minimal but complete event scheduler: events carry a timestamp, a strictly
+increasing sequence number (to make ordering deterministic for simultaneous
+events) and a callback. The simulator drains the queue in timestamp order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.core.errors import SimulationError
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Ordering is by ``(time, seq)``; the callback and payload do not take part
+    in comparisons so that identical timestamps never raise ``TypeError``.
+    """
+
+    time: float
+    seq: int
+    callback: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the scheduler skips it when it comes due."""
+        self.cancelled = True
+
+
+class EventScheduler:
+    """A deterministic priority-queue event scheduler."""
+
+    def __init__(self) -> None:
+        self._queue: list[Event] = []
+        self._counter = itertools.count()
+        self.now = 0.0
+        self.events_executed = 0
+
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        event = Event(time=self.now + delay, seq=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def schedule_at(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        *args: Any,
+    ) -> Event:
+        """Schedule ``callback(*args)`` at an absolute simulation time."""
+        if time < self.now:
+            raise SimulationError(
+                f"cannot schedule an event at {time} (current time {self.now})"
+            )
+        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
+        heapq.heappush(self._queue, event)
+        return event
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    def peek_time(self) -> float | None:
+        """Timestamp of the next pending event, or ``None`` when idle."""
+        while self._queue and self._queue[0].cancelled:
+            heapq.heappop(self._queue)
+        return self._queue[0].time if self._queue else None
+
+    def step(self) -> bool:
+        """Execute the next pending event; returns ``False`` when idle."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback(*event.args)
+            self.events_executed += 1
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> int:
+        """Drain the queue.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event would be later than this time.
+        max_events:
+            Safety valve against runaway simulations.
+
+        Returns
+        -------
+        int
+            Number of events executed by this call.
+        """
+        executed = 0
+        while True:
+            if max_events is not None and executed >= max_events:
+                break
+            next_time = self.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if not self.step():
+                break
+            executed += 1
+        if until is not None and until > self.now:
+            self.now = until
+        return executed
+
+    def reset(self) -> None:
+        """Discard all pending events and rewind the clock."""
+        self._queue.clear()
+        self.now = 0.0
+        self.events_executed = 0

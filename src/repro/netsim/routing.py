@@ -1,0 +1,120 @@
+"""Route computation and forwarding-table population.
+
+The control plane computes shortest paths over the topology graph and installs
+one exact-match entry per destination host into every switch's ``l3_forward``
+table. Equal-cost multipath is resolved deterministically (lexicographically
+smallest next hop) unless a flow label is provided, in which case the next hop
+is picked by hashing the label — mirroring ECMP hashing in real fabrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.errors import RoutingError
+from repro.dataplane.tables import FlowRule
+from repro.netsim.devices import FORWARDING_TABLE, Host, SwitchDevice
+from repro.netsim.topology import Topology
+
+
+@dataclass
+class RoutingState:
+    """Computed routing state: per-switch next hops for every host destination."""
+
+    #: switch name -> destination host name -> next-hop device name
+    next_hops: dict[str, dict[str, str]] = field(default_factory=dict)
+
+    def next_hop(self, switch: str, dst: str) -> str:
+        """Next-hop device name for traffic to ``dst`` at ``switch``."""
+        try:
+            return self.next_hops[switch][dst]
+        except KeyError as exc:
+            raise RoutingError(f"no route from {switch!r} to {dst!r}") from exc
+
+
+def compute_routes(topology: Topology, ecmp_seed: int = 0) -> RoutingState:
+    """Compute shortest-path next hops from every switch to every host."""
+    graph = topology.graph()
+    hosts = [h.name for h in topology.hosts()]
+    state = RoutingState()
+    for switch in topology.switches():
+        state.next_hops[switch.name] = {}
+        for dst in hosts:
+            paths = _shortest_paths(graph, switch.name, dst)
+            if not paths:
+                raise RoutingError(f"host {dst!r} unreachable from switch {switch.name!r}")
+            chosen = _pick_path(paths, key=f"{switch.name}->{dst}", seed=ecmp_seed)
+            # chosen[0] is the switch itself; chosen[1] is the next hop.
+            state.next_hops[switch.name][dst] = chosen[1]
+    return state
+
+
+def install_forwarding_rules(topology: Topology, routes: RoutingState | None = None) -> int:
+    """Install destination-based forwarding entries on every switch.
+
+    Returns the number of flow rules installed.
+    """
+    routes = routes or compute_routes(topology)
+    installed = 0
+    for switch in topology.switches():
+        for dst, next_hop in routes.next_hops[switch.name].items():
+            port = topology.port_towards(switch.name, next_hop)
+            rule = FlowRule.create(
+                table=FORWARDING_TABLE,
+                match={"dst": dst},
+                action_name="forward",
+                action_params={"egress_port": port},
+            )
+            switch.switch.install_rule(rule)
+            installed += 1
+    return installed
+
+
+def shortest_path(topology: Topology, src: str, dst: str) -> list[str]:
+    """The (deterministic) shortest path between two devices, as device names."""
+    graph = topology.graph()
+    paths = _shortest_paths(graph, src, dst)
+    if not paths:
+        raise RoutingError(f"no path from {src!r} to {dst!r}")
+    return _pick_path(paths, key=f"{src}->{dst}", seed=0)
+
+
+def path_switches(topology: Topology, src: str, dst: str) -> list[str]:
+    """Switches traversed on the shortest path from ``src`` to ``dst``."""
+    return [
+        name
+        for name in shortest_path(topology, src, dst)
+        if isinstance(topology.get(name), SwitchDevice)
+    ]
+
+
+def host_uplink_switch(topology: Topology, host_name: str) -> str:
+    """The ToR switch a host is directly attached to."""
+    host = topology.get(host_name)
+    if not isinstance(host, Host):
+        raise RoutingError(f"{host_name!r} is not a host")
+    neighbors = topology.neighbors(host_name)
+    switches = [n for n in neighbors if isinstance(topology.get(n), SwitchDevice)]
+    if not switches:
+        raise RoutingError(f"host {host_name!r} has no switch uplink")
+    return switches[0]
+
+
+def _shortest_paths(graph: nx.Graph, src: str, dst: str) -> list[list[str]]:
+    if src == dst:
+        return [[src]]
+    try:
+        return sorted(nx.all_shortest_paths(graph, src, dst))
+    except (nx.NetworkXNoPath, nx.NodeNotFound):
+        return []
+
+
+def _pick_path(paths: list[list[str]], key: str, seed: int) -> list[str]:
+    if len(paths) == 1:
+        return paths[0]
+    digest = hashlib.sha256(f"{seed}:{key}".encode()).digest()
+    index = int.from_bytes(digest[:4], "big") % len(paths)
+    return paths[index]

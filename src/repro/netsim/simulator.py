@@ -1,0 +1,153 @@
+"""The network simulator tying topology, devices, links and events together.
+
+The simulator owns the event scheduler and the per-device port maps. Sending a
+packet from a host schedules its arrival at the attached switch after the
+link's store-and-forward delay; every switch output is likewise scheduled on
+the corresponding link until the packet reaches a host, whose application
+receiver is then invoked.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.errors import SimulationError, TopologyError
+from repro.netsim.devices import Device, Host, SwitchDevice, packet_wire_bytes
+from repro.netsim.events import EventScheduler
+from repro.netsim.links import Link
+from repro.netsim.routing import RoutingState, compute_routes, install_forwarding_rules
+from repro.netsim.stats import TrafficStats
+from repro.netsim.topology import Topology
+
+
+@dataclass
+class SimulatorConfig:
+    """Tunables of a simulation run."""
+
+    #: Safety valve: maximum number of events a single ``run`` may execute.
+    max_events: int = 50_000_000
+    #: Automatically compute routes and install forwarding rules on start.
+    auto_install_routes: bool = True
+    #: Seed of the random stream deciding per-link packet drops (only used on
+    #: links whose ``loss_rate`` is non-zero).
+    loss_seed: int = 0
+
+
+class NetworkSimulator:
+    """Discrete-event simulator over a :class:`Topology`."""
+
+    def __init__(self, topology: Topology, config: SimulatorConfig | None = None) -> None:
+        topology.validate()
+        self.topology = topology
+        self.config = config or SimulatorConfig()
+        self.scheduler = EventScheduler()
+        self.stats = TrafficStats()
+        self.routes: RoutingState | None = None
+        self._port_links: dict[str, dict[int, Link]] = {}
+        #: Per-direction link occupancy: (link name, sender) -> time the link
+        #: becomes free. Transmissions on the same direction are serialized so
+        #: packets cannot overtake each other (FIFO links).
+        self._link_busy_until: dict[tuple[str, str], float] = {}
+        self._loss_rng = random.Random(self.config.loss_seed)
+        self._build_port_maps()
+        if self.config.auto_install_routes:
+            self.install_routes()
+
+    def _build_port_maps(self) -> None:
+        for name in self.topology.devices:
+            self._port_links[name] = {}
+        for link in self.topology.links:
+            self._port_links[link.a.device][link.a.port] = link
+            self._port_links[link.b.device][link.b.port] = link
+
+    # ------------------------------------------------------------------ #
+    # Control plane
+    # ------------------------------------------------------------------ #
+    def install_routes(self) -> int:
+        """Compute shortest-path routes and populate every forwarding table."""
+        self.routes = compute_routes(self.topology)
+        return install_forwarding_rules(self.topology, self.routes)
+
+    # ------------------------------------------------------------------ #
+    # Data plane
+    # ------------------------------------------------------------------ #
+    def send(self, src_host: str, packet: Any, delay: float = 0.0) -> None:
+        """Inject a packet from a host NIC into the network."""
+        device = self.topology.get(src_host)
+        if not isinstance(device, Host):
+            raise SimulationError(f"send() source {src_host!r} is not a host")
+        ports = self._port_links.get(src_host, {})
+        if 0 not in ports:
+            raise TopologyError(f"host {src_host!r} has no uplink")
+        device.note_sent(packet)
+        self.stats.record_host_sent(src_host, packet_wire_bytes(packet))
+        self.scheduler.schedule(delay, self._transmit, src_host, 0, packet)
+
+    def _transmit(self, from_device: str, egress_port: int, packet: Any) -> None:
+        """Put a packet on the link attached to ``(from_device, egress_port)``."""
+        ports = self._port_links.get(from_device, {})
+        link = ports.get(egress_port)
+        if link is None:
+            # Transmissions towards unconnected ports are counted as drops.
+            self.stats.record_drop(from_device)
+            return
+        nbytes = packet_wire_bytes(packet)
+        link.record_transmission(from_device, nbytes)
+        self.stats.record_link(link.name, nbytes)
+        if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
+            # The packet is lost in flight: it occupied the sender's NIC and
+            # the link but never reaches the other end.
+            self.stats.record_loss(link.name)
+            return
+        other = link.other_end(from_device)
+        # Serialize transmissions per link direction (FIFO): a packet starts
+        # transmitting only once the previous one has left the NIC.
+        busy_key = (link.name, from_device)
+        start = max(self.scheduler.now, self._link_busy_until.get(busy_key, 0.0))
+        serialization = nbytes / link.bandwidth_bps
+        self._link_busy_until[busy_key] = start + serialization
+        arrival = start + serialization + link.propagation_s
+        self.scheduler.schedule_at(arrival, self._deliver, other.device, other.port, packet)
+
+    def _deliver(self, device_name: str, ingress_port: int, packet: Any) -> None:
+        device = self.topology.get(device_name)
+        nbytes = packet_wire_bytes(packet)
+        if isinstance(device, Host):
+            self.stats.record_host_received(device_name, nbytes)
+        elif isinstance(device, SwitchDevice):
+            self.stats.record_switch(device_name, nbytes)
+        outputs = device.handle_packet(packet, ingress_port)
+        for egress_port, out_packet in outputs:
+            self._transmit(device_name, egress_port, out_packet)
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def run(self, until: float | None = None) -> int:
+        """Run the simulation until the event queue drains (or ``until``)."""
+        return self.scheduler.run(until=until, max_events=self.config.max_events)
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self.scheduler.now
+
+    def device(self, name: str) -> Device:
+        """Convenience accessor for a topology device."""
+        return self.topology.get(name)
+
+    def host(self, name: str) -> Host:
+        """Return a host device, or raise if ``name`` is not a host."""
+        device = self.topology.get(name)
+        if not isinstance(device, Host):
+            raise SimulationError(f"{name!r} is not a host")
+        return device
+
+    def switch(self, name: str) -> SwitchDevice:
+        """Return a switch device, or raise if ``name`` is not a switch."""
+        device = self.topology.get(name)
+        if not isinstance(device, SwitchDevice):
+            raise SimulationError(f"{name!r} is not a switch")
+        return device

@@ -1,0 +1,118 @@
+"""Traffic statistics collected during a simulation run.
+
+The evaluation in the paper reads three kinds of numbers from its testbed:
+bytes and packets received by each reducer (host), packets traversing the
+switch, and totals per baseline. :class:`TrafficStats` accumulates the same
+observations during a simulated run so the benchmark harness can compute the
+reduction ratios of Figure 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class PerDeviceTraffic:
+    """Packets/bytes observed at one device."""
+
+    packets: int = 0
+    bytes: int = 0
+
+    def record(self, nbytes: int) -> None:
+        """Add one packet of ``nbytes`` bytes."""
+        self.packets += 1
+        self.bytes += nbytes
+
+
+@dataclass
+class TrafficStats:
+    """Counters keyed by device and link name."""
+
+    host_sent: dict[str, PerDeviceTraffic] = field(default_factory=dict)
+    host_received: dict[str, PerDeviceTraffic] = field(default_factory=dict)
+    switch_traffic: dict[str, PerDeviceTraffic] = field(default_factory=dict)
+    link_traffic: dict[str, PerDeviceTraffic] = field(default_factory=dict)
+    drops: dict[str, int] = field(default_factory=dict)
+    losses: dict[str, int] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def record_host_sent(self, host: str, nbytes: int) -> None:
+        """Account a packet injected by a host."""
+        self.host_sent.setdefault(host, PerDeviceTraffic()).record(nbytes)
+
+    def record_host_received(self, host: str, nbytes: int) -> None:
+        """Account a packet delivered to a host."""
+        self.host_received.setdefault(host, PerDeviceTraffic()).record(nbytes)
+
+    def record_switch(self, switch: str, nbytes: int) -> None:
+        """Account a packet arriving at a switch."""
+        self.switch_traffic.setdefault(switch, PerDeviceTraffic()).record(nbytes)
+
+    def record_link(self, link_name: str, nbytes: int) -> None:
+        """Account a packet transmitted over a link."""
+        self.link_traffic.setdefault(link_name, PerDeviceTraffic()).record(nbytes)
+
+    def record_drop(self, device: str) -> None:
+        """Account a packet transmitted towards an unconnected port."""
+        self.drops[device] = self.drops.get(device, 0) + 1
+
+    def record_loss(self, link_name: str) -> None:
+        """Account a packet lost in flight on a lossy link."""
+        self.losses[link_name] = self.losses.get(link_name, 0) + 1
+
+    def total_losses(self) -> int:
+        """Packets lost in flight across every link."""
+        return sum(self.losses.values())
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def received_bytes(self, host: str) -> int:
+        """Bytes delivered to ``host``."""
+        return self.host_received.get(host, PerDeviceTraffic()).bytes
+
+    def received_packets(self, host: str) -> int:
+        """Packets delivered to ``host``."""
+        return self.host_received.get(host, PerDeviceTraffic()).packets
+
+    def sent_bytes(self, host: str) -> int:
+        """Bytes injected by ``host``."""
+        return self.host_sent.get(host, PerDeviceTraffic()).bytes
+
+    def sent_packets(self, host: str) -> int:
+        """Packets injected by ``host``."""
+        return self.host_sent.get(host, PerDeviceTraffic()).packets
+
+    def total_received_bytes(self, hosts: list[str] | None = None) -> int:
+        """Bytes delivered to the given hosts (or all hosts)."""
+        names = hosts if hosts is not None else list(self.host_received)
+        return sum(self.received_bytes(h) for h in names)
+
+    def total_received_packets(self, hosts: list[str] | None = None) -> int:
+        """Packets delivered to the given hosts (or all hosts)."""
+        names = hosts if hosts is not None else list(self.host_received)
+        return sum(self.received_packets(h) for h in names)
+
+    def total_link_bytes(self) -> int:
+        """Bytes carried over every link (each hop counted once)."""
+        return sum(t.bytes for t in self.link_traffic.values())
+
+    def total_link_packets(self) -> int:
+        """Packets carried over every link (each hop counted once)."""
+        return sum(t.packets for t in self.link_traffic.values())
+
+    def per_host_received(self) -> dict[str, PerDeviceTraffic]:
+        """Copy of the per-host delivery counters."""
+        return dict(self.host_received)
+
+    def reset(self) -> None:
+        """Clear every counter."""
+        self.host_sent.clear()
+        self.host_received.clear()
+        self.switch_traffic.clear()
+        self.link_traffic.clear()
+        self.drops.clear()
+        self.losses.clear()

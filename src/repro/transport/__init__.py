@@ -1,0 +1,17 @@
+"""Transport models (UDP datagrams, TCP-like streams) over the simulator."""
+
+from repro.transport.packets import MessagePayload, TcpSegment, UdpDatagram
+from repro.transport.tcp import TcpStats, TcpTransport, segment_message
+from repro.transport.udp import DEFAULT_UDP_PAYLOAD_LIMIT, UdpStats, UdpTransport
+
+__all__ = [
+    "MessagePayload",
+    "TcpSegment",
+    "UdpDatagram",
+    "TcpStats",
+    "TcpTransport",
+    "segment_message",
+    "DEFAULT_UDP_PAYLOAD_LIMIT",
+    "UdpStats",
+    "UdpTransport",
+]

@@ -1,0 +1,146 @@
+"""TCP-like stream transport used by the paper's first baseline.
+
+The baseline labelled "TCP" in Figure 3 is the original MapReduce shuffle: each
+mapper opens a stream to each reducer and sends its whole partition as a byte
+stream, which the kernel segments at the MSS. We model exactly that framing:
+an application message of ``n`` bytes becomes ``ceil(n / mss)`` segments, each
+with Ethernet/IP/TCP overhead, and the last segment carries the application
+payload object so the receiver can reassemble it.
+
+Congestion control and retransmissions are deliberately not modelled: the
+paper's reduction metrics only depend on how many packets/bytes reach the
+reducers, and the simulated network does not drop packets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.config import DEFAULT_TCP_MSS
+from repro.core.errors import TransportError
+from repro.netsim.simulator import NetworkSimulator
+from repro.transport.packets import MessagePayload, TcpSegment
+
+
+def segment_message(
+    src: str,
+    dst: str,
+    message_bytes: int,
+    payload: Any = None,
+    mss: int = DEFAULT_TCP_MSS,
+    sport: int = 0,
+    dport: int = 0,
+    start_seq: int = 0,
+) -> list[TcpSegment]:
+    """Split an application message into MSS-sized TCP segments.
+
+    The structured ``payload`` rides on the final segment (which also carries
+    the ``fin`` marker); earlier segments carry only byte counts.
+    """
+    if message_bytes < 0:
+        raise TransportError("message_bytes must be non-negative")
+    if mss <= 0:
+        raise TransportError("mss must be positive")
+    segments: list[TcpSegment] = []
+    remaining = message_bytes
+    seq = start_seq
+    while remaining > mss:
+        segments.append(
+            TcpSegment(
+                src=src,
+                dst=dst,
+                sport=sport,
+                dport=dport,
+                seq=seq,
+                payload=None,
+                payload_bytes=mss,
+            )
+        )
+        seq += mss
+        remaining -= mss
+    segments.append(
+        TcpSegment(
+            src=src,
+            dst=dst,
+            sport=sport,
+            dport=dport,
+            seq=seq,
+            payload=payload,
+            payload_bytes=remaining,
+            fin=True,
+        )
+    )
+    return segments
+
+
+@dataclass
+class TcpStats:
+    """Sender-side accounting for a set of TCP transfers."""
+
+    messages_sent: int = 0
+    segments_sent: int = 0
+    payload_bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+
+
+class TcpTransport:
+    """Message-oriented convenience layer over the simulated network.
+
+    ``send_message`` segments and injects a message; hosts that want to receive
+    register a callback with :meth:`listen`, which is invoked once per fully
+    received message (i.e. on each ``fin`` segment) with the structured
+    payload.
+    """
+
+    def __init__(self, simulator: NetworkSimulator, mss: int = DEFAULT_TCP_MSS) -> None:
+        self.simulator = simulator
+        self.mss = mss
+        self.stats = TcpStats()
+        self._listeners: dict[tuple[str, int], Callable[[str, MessagePayload], None]] = {}
+
+    def listen(self, host: str, port: int, callback: Callable[[str, MessagePayload], None]) -> None:
+        """Register ``callback(src, payload)`` for messages to ``host:port``."""
+        self._listeners[(host, port)] = callback
+        self.simulator.host(host).set_receiver(self._make_receiver(host))
+
+    def _make_receiver(self, host: str) -> Callable[[Any], None]:
+        def receive(packet: Any) -> None:
+            if not isinstance(packet, TcpSegment) or not packet.fin:
+                return
+            listener = self._listeners.get((host, packet.dport))
+            if listener is None:
+                return
+            payload = packet.payload
+            if payload is None:
+                payload = MessagePayload(kind="raw", data=None)
+            listener(packet.src, payload)
+
+        return receive
+
+    def send_message(
+        self,
+        src: str,
+        dst: str,
+        message_bytes: int,
+        payload: MessagePayload | None = None,
+        sport: int = 0,
+        dport: int = 0,
+    ) -> int:
+        """Send one application message; returns the number of segments."""
+        segments = segment_message(
+            src=src,
+            dst=dst,
+            message_bytes=message_bytes,
+            payload=payload,
+            mss=self.mss,
+            sport=sport,
+            dport=dport,
+        )
+        for segment in segments:
+            self.simulator.send(src, segment)
+        self.stats.messages_sent += 1
+        self.stats.segments_sent += len(segments)
+        self.stats.payload_bytes_sent += message_bytes
+        self.stats.wire_bytes_sent += sum(s.wire_bytes() for s in segments)
+        return len(segments)

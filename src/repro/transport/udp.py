@@ -1,0 +1,99 @@
+"""UDP message transport.
+
+DAIET ships intermediate data in UDP packets (Section 4: "these partitions are
+sent to the reducer using UDP packets containing a small preamble and a
+sequence of key-value pairs"). This module provides a generic UDP transport for
+baselines and control traffic; the DAIET-specific packet layout lives in
+:mod:`repro.core.packet` and rides inside the same datagram framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.core.errors import TransportError
+from repro.netsim.simulator import NetworkSimulator
+from repro.transport.packets import MessagePayload, UdpDatagram
+
+#: A conventional MTU-limited UDP payload (1500 B MTU minus IP and UDP headers).
+DEFAULT_UDP_PAYLOAD_LIMIT = 1472
+
+
+@dataclass
+class UdpStats:
+    """Sender-side accounting for UDP transfers."""
+
+    datagrams_sent: int = 0
+    payload_bytes_sent: int = 0
+    wire_bytes_sent: int = 0
+
+
+class UdpTransport:
+    """Datagram-oriented convenience layer over the simulated network."""
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        payload_limit: int = DEFAULT_UDP_PAYLOAD_LIMIT,
+    ) -> None:
+        if payload_limit <= 0:
+            raise TransportError("payload_limit must be positive")
+        self.simulator = simulator
+        self.payload_limit = payload_limit
+        self.stats = UdpStats()
+        self._listeners: dict[tuple[str, int], Callable[[str, MessagePayload], None]] = {}
+
+    def listen(self, host: str, port: int, callback: Callable[[str, MessagePayload], None]) -> None:
+        """Register ``callback(src, payload)`` for datagrams to ``host:port``."""
+        self._listeners[(host, port)] = callback
+        self.simulator.host(host).set_receiver(self._make_receiver(host))
+
+    def _make_receiver(self, host: str) -> Callable[[Any], None]:
+        def receive(packet: Any) -> None:
+            if not isinstance(packet, UdpDatagram):
+                return
+            listener = self._listeners.get((host, packet.dport))
+            if listener is None:
+                return
+            payload = packet.payload
+            if not isinstance(payload, MessagePayload):
+                payload = MessagePayload(kind="raw", data=payload)
+            listener(packet.src, payload)
+
+        return receive
+
+    def send_datagram(
+        self,
+        src: str,
+        dst: str,
+        payload: MessagePayload | None,
+        payload_bytes: int,
+        sport: int = 0,
+        dport: int = 0,
+    ) -> UdpDatagram:
+        """Send a single datagram (caller guarantees it fits the payload limit)."""
+        if payload_bytes > self.payload_limit:
+            raise TransportError(
+                f"datagram payload of {payload_bytes} B exceeds the "
+                f"{self.payload_limit} B limit; split the message first"
+            )
+        datagram = UdpDatagram(
+            src=src,
+            dst=dst,
+            sport=sport,
+            dport=dport,
+            payload=payload,
+            payload_bytes=payload_bytes,
+        )
+        self.simulator.send(src, datagram)
+        self.stats.datagrams_sent += 1
+        self.stats.payload_bytes_sent += payload_bytes
+        self.stats.wire_bytes_sent += datagram.wire_bytes()
+        return datagram
+
+    def send_raw(self, packet: Any, src: str) -> None:
+        """Inject an already-framed packet (e.g. a DAIET packet) from ``src``."""
+        self.simulator.send(src, packet)
+        self.stats.datagrams_sent += 1
+        self.stats.wire_bytes_sent += packet.wire_bytes()

@@ -1,0 +1,125 @@
+"""Unit tests for the metrics and reporting helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analysis.metrics import (
+    BoxplotStats,
+    MetricsError,
+    per_reducer_reduction,
+    percentile,
+    reduction_boxplot,
+    reduction_ratio,
+)
+from repro.analysis.reporting import (
+    format_percent,
+    render_boxplot_table,
+    render_comparison_table,
+    render_series_table,
+)
+from repro.mapreduce.job import JobResult, ReducerMetrics
+
+
+def job_result(metric_values: dict[int, float], field_name: str = "payload_bytes_received") -> JobResult:
+    result = JobResult(job_name="test", shuffle_mode="x")
+    for reducer_id, value in metric_values.items():
+        metrics = ReducerMetrics(reducer_id=reducer_id, host=f"w{reducer_id}")
+        setattr(metrics, field_name, value)
+        result.reducer_metrics[reducer_id] = metrics
+    return result
+
+
+class TestReductionRatio:
+    def test_basic(self):
+        assert reduction_ratio(100, 12) == pytest.approx(0.88)
+        assert reduction_ratio(100, 150) == pytest.approx(-0.5)
+
+    def test_zero_baseline_rejected(self):
+        with pytest.raises(MetricsError):
+            reduction_ratio(0, 5)
+
+
+class TestPercentileAndBoxplot:
+    def test_percentile_interpolation(self):
+        values = [1, 2, 3, 4]
+        assert percentile(values, 0.0) == 1
+        assert percentile(values, 1.0) == 4
+        assert percentile(values, 0.5) == pytest.approx(2.5)
+
+    def test_percentile_validation(self):
+        with pytest.raises(MetricsError):
+            percentile([], 0.5)
+        with pytest.raises(MetricsError):
+            percentile([1], 1.5)
+
+    def test_boxplot_from_values(self):
+        stats = BoxplotStats.from_values([0.1, 0.2, 0.3, 0.4, 0.5])
+        assert stats.minimum == pytest.approx(0.1)
+        assert stats.median == pytest.approx(0.3)
+        assert stats.maximum == pytest.approx(0.5)
+        assert stats.count == 5
+        percent = stats.as_percent()
+        assert percent.median == pytest.approx(30.0)
+
+    def test_boxplot_requires_values(self):
+        with pytest.raises(MetricsError):
+            BoxplotStats.from_values([])
+
+    @given(st.lists(st.floats(-1e6, 1e6), min_size=1, max_size=60))
+    def test_boxplot_ordering_invariant(self, values):
+        stats = BoxplotStats.from_values(values)
+        assert stats.minimum <= stats.q1 <= stats.median <= stats.q3 <= stats.maximum
+
+
+class TestPerReducerReduction:
+    def test_per_reducer_and_boxplot(self):
+        baseline = job_result({0: 100.0, 1: 200.0})
+        treatment = job_result({0: 10.0, 1: 40.0})
+        reductions = per_reducer_reduction(treatment, baseline, "payload_bytes_received")
+        assert reductions == [pytest.approx(0.9), pytest.approx(0.8)]
+        stats = reduction_boxplot(treatment, baseline, "payload_bytes_received")
+        assert stats.minimum == pytest.approx(0.8)
+        assert stats.maximum == pytest.approx(0.9)
+
+    def test_mismatched_reducer_sets_rejected(self):
+        with pytest.raises(MetricsError):
+            per_reducer_reduction(job_result({0: 1.0}), job_result({0: 1.0, 1: 2.0}), "packets_received")
+
+
+class TestReporting:
+    def test_format_percent_handles_fractions_and_percentages(self):
+        assert format_percent(0.873) == "87.3%"
+        assert format_percent(87.3) == "87.3%"
+
+    def test_series_table_contains_all_series(self):
+        text = render_series_table(
+            "Overlap", {"SGD": [0.4, 0.42], "Adam": [0.66, 0.67]}, index_label="step"
+        )
+        assert "SGD" in text and "Adam" in text
+        assert "step" in text
+        assert "40.0%" in text
+
+    def test_series_table_row_subsampling(self):
+        text = render_series_table("T", {"x": [0.1] * 100}, max_rows=10)
+        assert text.count("\n") < 30
+
+    def test_series_table_empty(self):
+        assert "(no data)" in render_series_table("T", {})
+
+    def test_boxplot_table_includes_paper_reference(self):
+        stats = BoxplotStats.from_values([0.86, 0.88, 0.89])
+        text = render_boxplot_table(
+            "Figure 3", {"Data volume": stats}, {"Data volume": "86.9%-89.3%"}
+        )
+        assert "Figure 3" in text
+        assert "[paper: 86.9%-89.3%]" in text
+        assert "median" in text
+
+    def test_comparison_table_alignment(self):
+        text = render_comparison_table(
+            "Summary",
+            [("Fig 1a", "42.5%", "41.2%"), ("Fig 3 volume", "86.9-89.3%", "88.7%")],
+        )
+        assert "Fig 1a" in text and "42.5%" in text and "88.7%" in text

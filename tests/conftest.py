@@ -1,0 +1,68 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DaietConfig
+from repro.graph.generators import livejournal_like, ring_graph
+from repro.mapreduce.cluster import build_cluster
+from repro.mapreduce.wordcount import generate_corpus
+from repro.mlsys.datasets import generate_synthetic_mnist
+from repro.netsim.topology import leaf_spine, single_rack
+
+
+@pytest.fixture()
+def small_config() -> DaietConfig:
+    """A small DAIET configuration (64 register slots) for collision testing."""
+    return DaietConfig(register_slots=64, pairs_per_packet=4)
+
+
+@pytest.fixture()
+def default_config() -> DaietConfig:
+    """The paper's default DAIET configuration."""
+    return DaietConfig()
+
+
+@pytest.fixture()
+def rack_topology():
+    """Four hosts behind one ToR switch."""
+    return single_rack(num_hosts=4)
+
+
+@pytest.fixture()
+def fabric_topology():
+    """A small leaf-spine fabric (2 leaves x 2 spines, 3 hosts per leaf)."""
+    return leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=3)
+
+
+@pytest.fixture(scope="session")
+def tiny_corpus():
+    """A small random-words corpus shared across MapReduce tests."""
+    return generate_corpus(
+        total_words=6_000, vocabulary_size=900, num_partitions=4, seed=11
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A small synthetic MNIST-like dataset shared across ML tests."""
+    return generate_synthetic_mnist(num_samples=1_200, seed=3)
+
+
+@pytest.fixture(scope="session")
+def small_social_graph():
+    """A small LiveJournal-like graph shared across graph tests."""
+    return livejournal_like(num_vertices=1_500, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_ring_graph():
+    """A deterministic ring graph for exact-result algorithm tests."""
+    return ring_graph(12)
+
+
+@pytest.fixture()
+def small_cluster():
+    """A four-worker single-rack MapReduce cluster."""
+    return build_cluster(num_workers=4)

@@ -1,0 +1,139 @@
+"""Unit and property tests for the DAIET wire format."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import DaietConfig
+from repro.core.errors import PacketFormatError
+from repro.core.packet import (
+    DaietPacket,
+    DaietPacketType,
+    end_packet,
+    packetize_pairs,
+)
+
+#: Keys valid under the fixed-size 16-byte representation.
+key_strategy = st.text(
+    alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=16
+)
+value_strategy = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+pairs_strategy = st.lists(st.tuples(key_strategy, value_strategy), max_size=10)
+
+
+class TestDaietPacket:
+    def test_data_packet_sizes(self):
+        packet = DaietPacket(tree_id=1, src="m0", dst="r0", pairs=(("word", 3),))
+        assert packet.num_pairs == 1
+        assert packet.payload_bytes() == 8 + 20
+        assert packet.wire_bytes() == 14 + 20 + 8 + 8 + 20
+
+    def test_end_packet_has_no_pairs(self):
+        packet = end_packet(tree_id=2, src="m0", dst="r0")
+        assert packet.packet_type is DaietPacketType.END
+        assert packet.payload_bytes() == 8
+        with pytest.raises(PacketFormatError):
+            DaietPacket(
+                tree_id=2, src="m0", dst="r0",
+                packet_type=DaietPacketType.END, pairs=(("x", 1),),
+            )
+
+    def test_too_many_pairs_rejected(self):
+        config = DaietConfig(pairs_per_packet=2)
+        with pytest.raises(PacketFormatError):
+            DaietPacket(
+                tree_id=1, src="a", dst="b",
+                pairs=(("a", 1), ("b", 2), ("c", 3)), config=config,
+            )
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(PacketFormatError):
+            DaietPacket(tree_id=1, src="a", dst="b", pairs=(("x" * 17, 1),))
+
+    def test_negative_tree_id_rejected(self):
+        with pytest.raises(PacketFormatError):
+            DaietPacket(tree_id=-1, src="a", dst="b")
+
+    def test_header_stack_contains_pairs(self):
+        packet = DaietPacket(tree_id=7, src="a", dst="b", pairs=(("k", 1), ("q", 2)))
+        names = [name for name, _, _ in packet.header_stack()]
+        assert names == ["ethernet", "ipv4", "udp", "daiet", "kv_0", "kv_1"]
+
+    def test_variable_length_keys_shrink_payload(self):
+        fixed = DaietPacket(tree_id=1, src="a", dst="b", pairs=(("ab", 1),))
+        variable = DaietPacket(
+            tree_id=1, src="a", dst="b", pairs=(("ab", 1),),
+            config=DaietConfig(variable_length_keys=True),
+        )
+        assert variable.payload_bytes() < fixed.payload_bytes()
+
+    def test_value_overflow_detected_at_encode(self):
+        packet = DaietPacket(tree_id=1, src="a", dst="b", pairs=(("k", 2**40),))
+        with pytest.raises(PacketFormatError):
+            packet.encode()
+
+
+class TestEncodeDecode:
+    def test_simple_round_trip(self):
+        packet = DaietPacket(tree_id=3, src="m1", dst="r2", pairs=(("hello", 42), ("world", -7)))
+        decoded = DaietPacket.decode(packet.encode(), src="m1", dst="r2")
+        assert decoded.tree_id == 3
+        assert decoded.pairs == (("hello", 42), ("world", -7))
+        assert decoded.packet_type is DaietPacketType.DATA
+
+    def test_truncated_payload_rejected(self):
+        packet = DaietPacket(tree_id=3, src="a", dst="b", pairs=(("abc", 1),))
+        data = packet.encode()
+        with pytest.raises(PacketFormatError):
+            DaietPacket.decode(data[:-3], src="a", dst="b")
+        with pytest.raises(PacketFormatError):
+            DaietPacket.decode(data[:4], src="a", dst="b")
+
+    @settings(max_examples=60)
+    @given(pairs=pairs_strategy, tree_id=st.integers(0, 2**31 - 1))
+    def test_round_trip_property_fixed_keys(self, pairs, tree_id):
+        packet = DaietPacket(tree_id=tree_id, src="a", dst="b", pairs=tuple(pairs))
+        decoded = DaietPacket.decode(packet.encode(), src="a", dst="b")
+        assert decoded.pairs == tuple(pairs)
+        assert decoded.tree_id == tree_id
+
+    @settings(max_examples=60)
+    @given(pairs=pairs_strategy)
+    def test_round_trip_property_variable_keys(self, pairs):
+        config = DaietConfig(variable_length_keys=True)
+        packet = DaietPacket(tree_id=5, src="a", dst="b", pairs=tuple(pairs), config=config)
+        decoded = DaietPacket.decode(packet.encode(), src="a", dst="b", config=config)
+        assert decoded.pairs == tuple(pairs)
+
+
+class TestPacketize:
+    def test_packetize_respects_pair_limit(self):
+        config = DaietConfig(pairs_per_packet=3)
+        pairs = [(f"k{i}", i) for i in range(8)]
+        packets = list(
+            packetize_pairs(pairs, tree_id=1, src="m", dst="r", config=config)
+        )
+        data_packets = [p for p in packets if p.packet_type is DaietPacketType.DATA]
+        assert [p.num_pairs for p in data_packets] == [3, 3, 2]
+        assert packets[-1].packet_type is DaietPacketType.END
+
+    def test_packetize_empty_stream_still_emits_end(self):
+        packets = list(packetize_pairs([], tree_id=1, src="m", dst="r"))
+        assert len(packets) == 1
+        assert packets[0].packet_type is DaietPacketType.END
+
+    def test_packetize_without_end(self):
+        packets = list(
+            packetize_pairs([("a", 1)], tree_id=1, src="m", dst="r", include_end=False)
+        )
+        assert all(p.packet_type is DaietPacketType.DATA for p in packets)
+
+    @settings(max_examples=40)
+    @given(pairs=st.lists(st.tuples(key_strategy, value_strategy), max_size=60))
+    def test_packetize_preserves_pair_sequence(self, pairs):
+        packets = list(packetize_pairs(pairs, tree_id=1, src="m", dst="r"))
+        reassembled = [pair for p in packets for pair in p.pairs]
+        assert reassembled == pairs
+        assert packets[-1].packet_type is DaietPacketType.END
+        assert all(p.num_pairs <= DaietConfig().pairs_per_packet for p in packets)

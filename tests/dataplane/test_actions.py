@@ -1,0 +1,94 @@
+"""Unit tests for the pipeline action primitives."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import PipelineError, ResourceExhaustedError
+from repro.dataplane.actions import (
+    ActionSequence,
+    CallableAction,
+    DropAction,
+    ForwardAction,
+    NoAction,
+    PacketContext,
+    SetMetadataAction,
+)
+from repro.dataplane.resources import PacketOpCounter
+
+
+class TestPacketContext:
+    def test_charge_without_counter_is_noop(self):
+        ctx = PacketContext(packet=None)
+        ctx.charge(100)  # must not raise
+
+    def test_charge_with_counter_enforces_budget(self):
+        ctx = PacketContext(packet=None, ops=PacketOpCounter(limit=2))
+        ctx.charge(2)
+        with pytest.raises(ResourceExhaustedError):
+            ctx.charge(1)
+
+    def test_emit_queues_generated_packets(self):
+        ctx = PacketContext(packet=None)
+        ctx.emit(3, "generated")
+        assert ctx.emitted == [(3, "generated")]
+
+
+class TestPrimitives:
+    def test_no_action_changes_nothing(self):
+        ctx = PacketContext(packet=None, metadata={"drop": False})
+        NoAction()(ctx)
+        assert ctx.metadata == {"drop": False}
+
+    def test_drop_action_sets_flag(self):
+        ctx = PacketContext(packet=None)
+        DropAction()(ctx)
+        assert ctx.metadata["drop"] is True
+
+    def test_forward_action_sets_egress_port(self):
+        ctx = PacketContext(packet=None)
+        ForwardAction(egress_port=9)(ctx)
+        assert ctx.metadata["egress_port"] == 9
+
+    def test_set_metadata_action(self):
+        ctx = PacketContext(packet=None)
+        SetMetadataAction(key="vlan", value=42)(ctx)
+        assert ctx.metadata["vlan"] == 42
+
+    def test_set_metadata_requires_key(self):
+        ctx = PacketContext(packet=None)
+        with pytest.raises(PipelineError):
+            SetMetadataAction(key="", value=1)(ctx)
+
+    def test_callable_action_invokes_function(self):
+        calls = []
+        action = CallableAction(func=lambda ctx: calls.append(ctx), name="probe")
+        ctx = PacketContext(packet="pkt")
+        action(ctx)
+        assert calls == [ctx]
+
+    def test_callable_action_without_function_raises(self):
+        ctx = PacketContext(packet=None)
+        with pytest.raises(PipelineError):
+            CallableAction()(ctx)
+
+    def test_action_sequence_runs_in_order(self):
+        ctx = PacketContext(packet=None)
+        sequence = ActionSequence(
+            actions=(
+                SetMetadataAction(key="first", value=1),
+                SetMetadataAction(key="second", value=2),
+                ForwardAction(egress_port=5),
+            )
+        )
+        sequence(ctx)
+        assert ctx.metadata["first"] == 1
+        assert ctx.metadata["second"] == 2
+        assert ctx.metadata["egress_port"] == 5
+
+    def test_actions_charge_the_op_budget(self):
+        ctx = PacketContext(packet=None, ops=PacketOpCounter(limit=2))
+        ForwardAction(egress_port=1)(ctx)
+        DropAction()(ctx)
+        assert ctx.ops is not None
+        assert ctx.ops.used == 2

@@ -1,0 +1,154 @@
+"""Unit tests for match-action tables and flow rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TableError
+from repro.dataplane.actions import (
+    DropAction,
+    ForwardAction,
+    NoAction,
+    PacketContext,
+    SetMetadataAction,
+)
+from repro.dataplane.tables import WILDCARD, FlowRule, MatchActionTable
+
+
+def make_ctx(**metadata) -> PacketContext:
+    return PacketContext(packet=object(), metadata=dict(metadata))
+
+
+class TestFlowRule:
+    def test_create_canonicalizes_ordering(self):
+        rule_a = FlowRule.create("t", {"a": 1, "b": 2}, "fwd", {"x": 1})
+        rule_b = FlowRule.create("t", {"b": 2, "a": 1}, "fwd", {"x": 1})
+        assert rule_a == rule_b
+        assert rule_a.match_dict() == {"a": 1, "b": 2}
+        assert rule_a.params_dict() == {"x": 1}
+
+    def test_rules_are_hashable(self):
+        rule = FlowRule.create("t", {"dst": "h1"}, "fwd", {"egress_port": 3})
+        assert len({rule, rule}) == 1
+
+
+class TestExactMatchTable:
+    def make_table(self) -> MatchActionTable:
+        table = MatchActionTable("l3", match_fields=("dst",))
+        table.register_action("forward", ForwardAction)
+        table.register_action("drop", DropAction)
+        return table
+
+    def test_install_and_lookup(self):
+        table = self.make_table()
+        table.install(FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 7}))
+        entry = table.lookup({"dst": "h1"})
+        assert entry is not None
+        assert table.lookup({"dst": "h2"}) is None
+
+    def test_apply_hit_sets_egress_port(self):
+        table = self.make_table()
+        table.install(FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 7}))
+        ctx = make_ctx(dst="h1")
+        assert table.apply(ctx) is True
+        assert ctx.metadata["egress_port"] == 7
+        assert table.hit_count == 1
+
+    def test_apply_miss_runs_default_action(self):
+        table = self.make_table()
+        table.set_default_action(DropAction())
+        ctx = make_ctx(dst="unknown")
+        assert table.apply(ctx) is False
+        assert ctx.metadata["drop"] is True
+        assert table.miss_count == 1
+
+    def test_duplicate_exact_entry_rejected(self):
+        table = self.make_table()
+        rule = FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 1})
+        table.install(rule)
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 2}))
+
+    def test_missing_match_field_rejected(self):
+        table = self.make_table()
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("l3", {"src": "h1"}, "forward", {"egress_port": 1}))
+
+    def test_unknown_action_rejected(self):
+        table = self.make_table()
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("l3", {"dst": "h1"}, "mystery"))
+
+    def test_rule_for_other_table_rejected(self):
+        table = self.make_table()
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("other", {"dst": "h1"}, "forward"))
+
+    def test_capacity_limit(self):
+        table = MatchActionTable("tiny", match_fields=("dst",), max_entries=1)
+        table.register_action("forward", ForwardAction)
+        table.install(FlowRule.create("tiny", {"dst": "a"}, "forward", {"egress_port": 0}))
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("tiny", {"dst": "b"}, "forward", {"egress_port": 0}))
+
+    def test_remove_entry(self):
+        table = self.make_table()
+        table.install(FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 1}))
+        assert table.remove({"dst": "h1"}) is True
+        assert table.remove({"dst": "h1"}) is False
+        assert len(table) == 0
+
+    def test_clear(self):
+        table = self.make_table()
+        table.install(FlowRule.create("l3", {"dst": "h1"}, "forward", {"egress_port": 1}))
+        table.clear()
+        assert len(table) == 0
+
+    def test_shared_action_instance_rejects_params(self):
+        table = MatchActionTable("t", match_fields=("k",))
+        table.register_action("shared", NoAction())
+        with pytest.raises(TableError):
+            table.install(FlowRule.create("t", {"k": 1}, "shared", {"p": 2}))
+
+    def test_table_requires_match_fields(self):
+        with pytest.raises(TableError):
+            MatchActionTable("empty", match_fields=())
+
+    def test_unsupported_match_kind(self):
+        with pytest.raises(TableError):
+            MatchActionTable("t", match_fields=("k",), match_kind="lpm")
+
+
+class TestTernaryTable:
+    def make_table(self) -> MatchActionTable:
+        table = MatchActionTable("acl", match_fields=("src", "dst"), match_kind="ternary")
+        table.register_action("drop", DropAction)
+        table.register_action("mark", SetMetadataAction)
+        return table
+
+    def test_wildcard_matches_anything(self):
+        table = self.make_table()
+        table.install(FlowRule.create("acl", {"src": WILDCARD, "dst": "h1"}, "drop"))
+        assert table.lookup({"src": "x", "dst": "h1"}) is not None
+        assert table.lookup({"src": "x", "dst": "h2"}) is None
+
+    def test_priority_orders_overlapping_entries(self):
+        table = self.make_table()
+        table.install(
+            FlowRule.create(
+                "acl", {"src": WILDCARD, "dst": WILDCARD}, "mark",
+                {"key": "class", "value": "default"}, priority=1,
+            )
+        )
+        table.install(
+            FlowRule.create(
+                "acl", {"src": "h0", "dst": WILDCARD}, "mark",
+                {"key": "class", "value": "special"}, priority=10,
+            )
+        )
+        ctx = make_ctx(src="h0", dst="anything")
+        table.apply(ctx)
+        assert ctx.metadata["class"] == "special"
+        ctx2 = make_ctx(src="h9", dst="anything")
+        table.apply(ctx2)
+        assert ctx2.metadata["class"] == "default"

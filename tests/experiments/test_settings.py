@@ -1,0 +1,75 @@
+"""Unit tests for the experiment settings dataclasses."""
+
+from __future__ import annotations
+
+from repro.core.config import DaietConfig
+from repro.experiments.figure1_graph import Figure1GraphSettings
+from repro.experiments.figure1_ml import Figure1MlSettings
+from repro.experiments.figure3_wordcount import Figure3Settings
+
+
+class TestFigure1MlSettings:
+    def test_paper_scale_defaults(self):
+        settings = Figure1MlSettings()
+        assert settings.num_steps == 200
+        assert settings.num_workers == 5
+        assert settings.sgd_batch_size == 3
+        assert settings.adam_batch_size == 100
+
+    def test_quick_variant_is_smaller_but_same_shape(self):
+        full = Figure1MlSettings()
+        quick = full.quick()
+        assert quick.num_steps < full.num_steps
+        assert quick.dataset_samples < full.dataset_samples
+        assert quick.num_workers == full.num_workers
+        assert quick.sgd_batch_size == full.sgd_batch_size
+        assert quick.adam_batch_size == full.adam_batch_size
+
+
+class TestFigure1GraphSettings:
+    def test_paper_scale_defaults(self):
+        settings = Figure1GraphSettings()
+        assert settings.num_workers == 4  # the paper uses four GPS machines
+        assert settings.iterations == 10
+        assert settings.average_degree == 14
+
+    def test_quick_variant(self):
+        quick = Figure1GraphSettings().quick()
+        assert quick.num_vertices < Figure1GraphSettings().num_vertices
+        assert quick.iterations == 10
+
+
+class TestFigure3Settings:
+    def test_paper_scale_defaults(self):
+        settings = Figure3Settings()
+        assert settings.num_workers == 12
+        assert settings.num_mappers == 24
+        assert settings.num_reducers == 12
+        assert settings.register_slots == 16 * 1024
+        assert settings.pairs_per_packet == 10
+        assert settings.key_width == 16
+
+    def test_daiet_config_reflects_settings(self):
+        settings = Figure3Settings(register_slots=2048, pairs_per_packet=5, key_width=8)
+        config = settings.daiet_config()
+        assert isinstance(config, DaietConfig)
+        assert config.register_slots == 2048
+        assert config.pairs_per_packet == 5
+        assert config.key_width == 8
+
+    def test_corpus_spec_targets_the_reducers(self):
+        settings = Figure3Settings()
+        corpus_spec = settings.corpus_spec()
+        assert corpus_spec.num_partitions == settings.num_reducers
+        assert corpus_spec.register_slots == settings.register_slots
+        # The vocabulary/corpus ratio implies the paper's ~88% reduction band.
+        ratio = 1.0 - corpus_spec.vocabulary_size / corpus_spec.total_words
+        assert 0.85 <= ratio <= 0.92
+
+    def test_quick_variant_preserves_daiet_parameters(self):
+        full = Figure3Settings()
+        quick = full.quick()
+        assert quick.register_slots == full.register_slots
+        assert quick.pairs_per_packet == full.pairs_per_packet
+        assert quick.num_workers < full.num_workers
+        assert quick.total_words < full.total_words

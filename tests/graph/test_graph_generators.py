@@ -1,0 +1,118 @@
+"""Unit tests for the graph structure and synthetic generators."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.errors import GraphError
+from repro.graph.generators import (
+    livejournal_like,
+    preferential_attachment_graph,
+    random_graph,
+    ring_graph,
+)
+from repro.graph.graph import Graph, GraphPartition
+
+
+class TestGraph:
+    def test_add_edges_and_query(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        assert graph.num_vertices == 3
+        assert graph.num_edges == 2
+        assert sorted(graph.neighbors(2)) == [1, 3]
+        assert graph.degree(2) == 2
+        assert graph.average_degree() == pytest.approx(4 / 3)
+
+    def test_self_loops_and_duplicates_rejected(self):
+        graph = Graph()
+        graph.add_edge(1, 2)
+        with pytest.raises(GraphError):
+            graph.add_edge(1, 1)
+        with pytest.raises(GraphError):
+            graph.add_edge(2, 1)
+
+    def test_from_edges_deduplicates(self):
+        graph = Graph.from_edges([(1, 2), (2, 1), (1, 1), (2, 3)])
+        assert graph.num_edges == 2
+
+    def test_edges_iterator_lists_each_edge_once(self):
+        graph = Graph.from_edges([(1, 2), (2, 3), (3, 1)])
+        assert sorted(graph.edges()) == [(1, 2), (1, 3), (2, 3)]
+
+    def test_unknown_vertex_rejected(self):
+        graph = Graph()
+        with pytest.raises(GraphError):
+            graph.neighbors(7)
+
+
+class TestPartition:
+    def test_hash_partition_covers_all_vertices(self):
+        graph = ring_graph(10)
+        partition = GraphPartition.hash_partition(graph, 4)
+        assert sorted(v for w in range(4) for v in partition.vertices_of(w)) == list(range(10))
+        assert partition.worker_of(5) == 1
+        assert partition.is_remote(0, 1) is True
+        assert partition.is_remote(0, 4) is False
+
+    def test_invalid_worker_queries(self):
+        graph = ring_graph(4)
+        partition = GraphPartition.hash_partition(graph, 2)
+        with pytest.raises(GraphError):
+            partition.worker_of(99)
+        with pytest.raises(GraphError):
+            partition.vertices_of(7)
+
+
+class TestGenerators:
+    def test_ring_graph(self):
+        graph = ring_graph(5)
+        assert graph.num_vertices == 5
+        assert graph.num_edges == 5
+        assert all(graph.degree(v) == 2 for v in graph.vertices())
+        with pytest.raises(GraphError):
+            ring_graph(2)
+
+    def test_random_graph_edge_count(self):
+        graph = random_graph(num_vertices=50, num_edges=100, seed=1)
+        assert graph.num_vertices == 50
+        assert graph.num_edges == 100
+        with pytest.raises(GraphError):
+            random_graph(num_vertices=4, num_edges=100)
+
+    def test_preferential_attachment_properties(self):
+        graph = preferential_attachment_graph(num_vertices=800, edges_per_vertex=5, seed=2)
+        assert graph.num_vertices == 800
+        # Every non-seed vertex contributes edges_per_vertex edges.
+        assert graph.num_edges >= (800 - 5) * 5
+        degrees = sorted((graph.degree(v) for v in graph.vertices()), reverse=True)
+        # Heavy tail: the most connected vertex dwarfs the median.
+        assert degrees[0] > 8 * degrees[len(degrees) // 2]
+        with pytest.raises(GraphError):
+            preferential_attachment_graph(num_vertices=3, edges_per_vertex=5)
+
+    def test_livejournal_like_average_degree(self):
+        graph = livejournal_like(num_vertices=2_000, seed=3)
+        assert 10 <= graph.average_degree() <= 18
+        with pytest.raises(GraphError):
+            livejournal_like(num_vertices=100, average_degree=1)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(20, 200), st.integers(2, 5), st.integers(0, 100))
+    def test_preferential_attachment_is_connected(self, vertices, m, seed):
+        graph = preferential_attachment_graph(vertices, m, seed=seed)
+        # BFS from vertex 0 must reach every vertex (new vertices always attach
+        # to existing ones, so the graph is connected by construction).
+        seen = {0}
+        frontier = [0]
+        while frontier:
+            nxt = []
+            for vertex in frontier:
+                for neighbor in graph.neighbors(vertex):
+                    if neighbor not in seen:
+                        seen.add(neighbor)
+                        nxt.append(neighbor)
+            frontier = nxt
+        assert len(seen) == graph.num_vertices

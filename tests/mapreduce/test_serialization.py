@@ -1,0 +1,89 @@
+"""Unit and property tests for the fixed-size pair serialization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.config import DaietConfig
+from repro.core.errors import PacketFormatError
+from repro.mapreduce.serialization import (
+    SpillFile,
+    decode_pairs,
+    encode_pair,
+    encode_pairs,
+    iter_complete_pairs,
+    serialized_pair_bytes,
+    serialized_size,
+)
+
+keys = st.text(alphabet=st.characters(min_codepoint=97, max_codepoint=122), min_size=1, max_size=16)
+values = st.integers(min_value=-(2**31), max_value=2**31 - 1)
+
+
+class TestEncoding:
+    def test_pair_size_matches_config(self):
+        assert serialized_pair_bytes() == 20
+        assert serialized_pair_bytes(DaietConfig(key_width=8, value_width=8)) == 16
+        assert serialized_size(10) == 200
+
+    def test_encode_pads_key(self):
+        blob = encode_pair("hi", 1)
+        assert len(blob) == 20
+        assert blob.startswith(b"hi\x00")
+
+    def test_oversized_key_rejected(self):
+        with pytest.raises(PacketFormatError):
+            encode_pair("x" * 17, 1)
+
+    def test_value_overflow_rejected(self):
+        with pytest.raises(PacketFormatError):
+            encode_pair("k", 2**40)
+
+    def test_negative_pair_count_rejected(self):
+        with pytest.raises(PacketFormatError):
+            serialized_size(-1)
+
+    def test_decode_rejects_misaligned_blob(self):
+        with pytest.raises(PacketFormatError):
+            decode_pairs(b"\x00" * 21)
+
+    @given(st.lists(st.tuples(keys, values), max_size=50))
+    def test_round_trip(self, pairs):
+        blob = encode_pairs(pairs)
+        assert len(blob) == 20 * len(pairs)
+        assert decode_pairs(blob) == pairs
+
+
+class TestChunking:
+    def test_iter_complete_pairs_chunks(self):
+        pairs = [(f"k{i}", i) for i in range(7)]
+        chunks = list(iter_complete_pairs(pairs, 3))
+        assert [len(c) for c in chunks] == [3, 3, 1]
+        assert [pair for chunk in chunks for pair in chunk] == pairs
+
+    def test_invalid_chunk_size(self):
+        with pytest.raises(PacketFormatError):
+            list(iter_complete_pairs([("a", 1)], 0))
+
+
+class TestSpillFile:
+    def test_append_and_read_all(self):
+        spill = SpillFile()
+        spill.append("alpha", 1)
+        spill.extend([("beta", 2), ("gamma", 3)])
+        assert spill.pairs_written == 3
+        assert spill.size_bytes() == 60
+        assert spill.all_pairs() == [("alpha", 1), ("beta", 2), ("gamma", 3)]
+
+    def test_read_complete_pairs_by_offset(self):
+        spill = SpillFile()
+        spill.extend([(f"k{i}", i) for i in range(10)])
+        middle = spill.read_pairs(start_pair=4, count=3)
+        assert middle == [("k4", 4), ("k5", 5), ("k6", 6)]
+
+    @given(st.lists(st.tuples(keys, values), max_size=40))
+    def test_spill_file_round_trip(self, pairs):
+        spill = SpillFile()
+        spill.extend(pairs)
+        assert spill.all_pairs() == pairs

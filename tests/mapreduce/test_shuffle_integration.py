@@ -1,0 +1,134 @@
+"""Integration tests: the full WordCount job over every shuffle transport.
+
+These are the end-to-end correctness tests of the reproduction: the job output
+must equal the ground-truth word counts no matter which shuffle path carried
+the intermediate data, and the relative traffic metrics must follow the
+paper's ordering (DAIET ≪ UDP baseline; DAIET < TCP baseline).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import HostAggregationShuffle, TcpShuffle, UdpShuffle
+from repro.core.config import DaietConfig
+from repro.core.errors import JobError
+from repro.mapreduce.cluster import build_cluster, default_placement
+from repro.mapreduce.master import MapReduceMaster
+from repro.mapreduce.shuffle import DaietShuffle
+from repro.mapreduce.wordcount import generate_corpus, make_wordcount_job
+
+NUM_WORKERS = 4
+NUM_MAPPERS = 8
+NUM_REDUCERS = 4
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return generate_corpus(
+        total_words=8_000, vocabulary_size=1_000, num_partitions=NUM_REDUCERS, seed=17
+    )
+
+
+def run_job(shuffle, corpus, register_slots: int = 4096):
+    cluster = build_cluster(num_workers=NUM_WORKERS)
+    spec = make_wordcount_job(
+        num_mappers=NUM_MAPPERS,
+        num_reducers=NUM_REDUCERS,
+        daiet=DaietConfig(register_slots=register_slots),
+    )
+    placement = default_placement(cluster, NUM_MAPPERS, NUM_REDUCERS)
+    master = MapReduceMaster(cluster, spec, shuffle, placement)
+    return master.run(corpus.splits(NUM_MAPPERS))
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize(
+        "shuffle_factory",
+        [
+            lambda: TcpShuffle(),
+            lambda: UdpShuffle(),
+            lambda: DaietShuffle(DaietConfig(register_slots=4096)),
+            lambda: HostAggregationShuffle(),
+        ],
+        ids=["tcp", "udp", "daiet", "host_agg"],
+    )
+    def test_output_matches_ground_truth(self, corpus, shuffle_factory):
+        result = run_job(shuffle_factory(), corpus)
+        assert result.output == corpus.word_counts()
+        assert result.map_output_pairs == corpus.total_words
+
+    def test_daiet_correct_even_with_tiny_registers(self, corpus):
+        # With only 64 slots most pairs collide and spill over; the output
+        # must still be exact.
+        result = run_job(DaietShuffle(DaietConfig(register_slots=64)), corpus, register_slots=64)
+        assert result.output == corpus.word_counts()
+
+
+class TestTrafficShape:
+    @pytest.fixture(scope="class")
+    def results(self, corpus):
+        return {
+            "tcp": run_job(TcpShuffle(), corpus),
+            "udp": run_job(UdpShuffle(), corpus),
+            "daiet": run_job(DaietShuffle(DaietConfig(register_slots=4096)), corpus),
+            "host_agg": run_job(HostAggregationShuffle(), corpus),
+        }
+
+    def test_daiet_reduces_data_volume(self, results):
+        daiet_bytes = results["daiet"].total_reducer_bytes()
+        tcp_bytes = results["tcp"].total_reducer_bytes()
+        assert daiet_bytes < 0.4 * tcp_bytes
+
+    def test_daiet_reduces_packets_vs_udp(self, results):
+        assert (
+            results["daiet"].total_reducer_packets()
+            < 0.4 * results["udp"].total_reducer_packets()
+        )
+
+    def test_udp_baseline_has_most_packets(self, results):
+        packets = {name: r.total_reducer_packets() for name, r in results.items()}
+        assert packets["udp"] == max(packets.values())
+
+    def test_host_aggregation_is_between_tcp_and_daiet(self, results):
+        host_bytes = results["host_agg"].total_reducer_bytes()
+        assert results["daiet"].total_reducer_bytes() < host_bytes
+        assert host_bytes < results["tcp"].total_reducer_bytes()
+
+    def test_reducers_receive_unique_keys_only_with_daiet(self, results):
+        daiet = results["daiet"]
+        unique_keys = len(daiet.output)
+        pairs_received = sum(m.pairs_received for m in daiet.reducer_metrics.values())
+        # In-network aggregation means the reducers see at most one pair per
+        # key from the network plus whatever stayed local (and rare spillover
+        # duplicates when register slots collide).
+        assert pairs_received <= unique_keys * 1.1
+
+    def test_per_reducer_metrics_populated(self, results):
+        for result in results.values():
+            assert len(result.reducer_metrics) == NUM_REDUCERS
+            for metrics in result.reducer_metrics.values():
+                assert metrics.packets_received > 0
+                assert metrics.wire_bytes_received > 0
+                assert metrics.reduce_seconds >= 0.0
+
+
+class TestMasterValidation:
+    def test_split_count_must_match_mappers(self, corpus):
+        cluster = build_cluster(num_workers=NUM_WORKERS)
+        spec = make_wordcount_job(num_mappers=NUM_MAPPERS, num_reducers=NUM_REDUCERS)
+        master = MapReduceMaster(cluster, spec, TcpShuffle())
+        with pytest.raises(JobError):
+            master.run(corpus.splits(NUM_MAPPERS - 1))
+
+    def test_placement_must_match_spec(self):
+        cluster = build_cluster(num_workers=NUM_WORKERS)
+        spec = make_wordcount_job(num_mappers=NUM_MAPPERS, num_reducers=NUM_REDUCERS)
+        bad_placement = default_placement(cluster, NUM_MAPPERS - 2, NUM_REDUCERS)
+        with pytest.raises(JobError):
+            MapReduceMaster(cluster, spec, TcpShuffle(), bad_placement)
+
+    def test_shuffle_accounting_is_populated(self, corpus):
+        result = run_job(DaietShuffle(DaietConfig(register_slots=4096)), corpus)
+        assert result.total_packets_sent > 0
+        assert result.simulated_seconds > 0.0

@@ -1,0 +1,130 @@
+"""Unit tests for host/switch devices and the traffic statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import TopologyError
+from repro.netsim.devices import (
+    DAIET_TABLE,
+    FORWARDING_TABLE,
+    Host,
+    SwitchDevice,
+    packet_wire_bytes,
+)
+from repro.netsim.stats import PerDeviceTraffic, TrafficStats
+from repro.transport.packets import UdpDatagram
+
+
+class TestHost:
+    def test_receiver_callback_and_counters(self):
+        host = Host("h0")
+        seen = []
+        host.set_receiver(seen.append)
+        packet = UdpDatagram(src="x", dst="h0", payload_bytes=50)
+        assert host.handle_packet(packet, ingress_port=0) == []
+        assert seen == [packet]
+        assert host.counters.packets_received == 1
+        assert host.counters.bytes_received == packet.wire_bytes()
+
+    def test_record_packets_flag(self):
+        host = Host("h0")
+        host.record_packets = True
+        packet = UdpDatagram(src="x", dst="h0", payload_bytes=1)
+        host.handle_packet(packet, 0)
+        assert host.received_packets == [packet]
+
+    def test_note_sent_accounting(self):
+        host = Host("h0")
+        packet = UdpDatagram(src="h0", dst="y", payload_bytes=10)
+        host.note_sent(packet)
+        assert host.counters.packets_sent == 1
+        assert host.counters.bytes_sent == packet.wire_bytes()
+
+    def test_receiving_without_callback_still_counts(self):
+        host = Host("h0")
+        host.handle_packet(UdpDatagram(src="x", dst="h0", payload_bytes=1), 0)
+        assert host.counters.packets_received == 1
+
+
+class TestSwitchDevice:
+    def test_standard_pipeline_tables_exist(self):
+        device = SwitchDevice("s0")
+        tables = device.switch.pipeline.tables()
+        assert DAIET_TABLE in tables
+        assert FORWARDING_TABLE in tables
+        assert device.daiet_table is tables[DAIET_TABLE]
+        assert device.forwarding_table is tables[FORWARDING_TABLE]
+
+    def test_metadata_extraction_feeds_forwarding(self):
+        device = SwitchDevice("s0")
+        from repro.dataplane.tables import FlowRule
+
+        device.switch.install_rule(
+            FlowRule.create(FORWARDING_TABLE, {"dst": "h9"}, "forward", {"egress_port": 4})
+        )
+        out = device.handle_packet(UdpDatagram(src="a", dst="h9", payload_bytes=10), 0)
+        assert [port for port, _ in out] == [4]
+
+    def test_unrouted_packet_dropped(self):
+        device = SwitchDevice("s0")
+        out = device.handle_packet(UdpDatagram(src="a", dst="nowhere", payload_bytes=10), 0)
+        assert out == []
+        assert device.switch.counters.packets_dropped == 1
+
+
+class TestPacketWireBytes:
+    def test_uses_wire_bytes_method(self):
+        assert packet_wire_bytes(UdpDatagram(src="a", dst="b", payload_bytes=6)) == 48
+
+    def test_falls_back_to_length_attribute(self):
+        class Fake:
+            length = 77
+
+        assert packet_wire_bytes(Fake()) == 77
+
+    def test_rejects_objects_without_size(self):
+        with pytest.raises(TopologyError):
+            packet_wire_bytes(object())
+
+
+class TestTrafficStats:
+    def test_recording_and_totals(self):
+        stats = TrafficStats()
+        stats.record_host_sent("h0", 100)
+        stats.record_host_received("h1", 100)
+        stats.record_host_received("h1", 50)
+        stats.record_switch("s0", 150)
+        stats.record_link("l0", 150)
+        stats.record_drop("s0")
+        stats.record_loss("l0")
+        assert stats.sent_packets("h0") == 1
+        assert stats.sent_bytes("h0") == 100
+        assert stats.received_packets("h1") == 2
+        assert stats.received_bytes("h1") == 150
+        assert stats.total_received_bytes() == 150
+        assert stats.total_received_packets(["h1", "ghost"]) == 2
+        assert stats.total_link_bytes() == 150
+        assert stats.total_link_packets() == 1
+        assert stats.total_losses() == 1
+        assert stats.drops == {"s0": 1}
+
+    def test_unknown_hosts_default_to_zero(self):
+        stats = TrafficStats()
+        assert stats.received_bytes("nobody") == 0
+        assert stats.sent_packets("nobody") == 0
+
+    def test_per_host_received_copy(self):
+        stats = TrafficStats()
+        stats.record_host_received("h1", 10)
+        snapshot = stats.per_host_received()
+        snapshot["h1"] = PerDeviceTraffic()
+        assert stats.received_bytes("h1") == 10
+
+    def test_reset_clears_everything(self):
+        stats = TrafficStats()
+        stats.record_host_received("h1", 10)
+        stats.record_loss("l0")
+        stats.reset()
+        assert stats.total_received_packets() == 0
+        assert stats.total_losses() == 0

@@ -1,0 +1,130 @@
+"""Failure-injection tests: lossy links and how DAIET behaves under loss.
+
+The paper explicitly defers packet-loss handling ("In the current prototype,
+we do not address the issue of packet losses, which we leave as future work"),
+so these tests document the behaviour of the reproduction under loss rather
+than assert full reliability: packets disappear, the aggregation engine never
+produces *wrong* values for the pairs that do arrive, and the idempotent-END
+extension (``DaietConfig(reliable_end=True)``) tolerates duplicated END
+packets caused by application-level retransmission.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DaietConfig
+from repro.core.controller import DaietController
+from repro.core.daiet import DaietReceiver
+from repro.core.errors import TopologyError
+from repro.core.functions import SUM, aggregate_pairs
+from repro.core.packet import end_packet, packetize_pairs
+from repro.netsim.links import Endpoint, Link
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
+from repro.netsim.topology import Topology
+from repro.transport.packets import UdpDatagram
+
+
+def lossy_rack(num_hosts: int, loss_rate: float) -> Topology:
+    """A single-rack topology whose host uplinks drop packets."""
+    topo = Topology(name="lossy_rack")
+    topo.add_switch("tor")
+    for i in range(num_hosts):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", "tor", loss_rate=loss_rate)
+    topo.validate()
+    return topo
+
+
+class TestLossyLinks:
+    def test_loss_rate_validation(self):
+        with pytest.raises(TopologyError):
+            Link(a=Endpoint("a", 0), b=Endpoint("b", 0), loss_rate=1.0)
+        with pytest.raises(TopologyError):
+            Link(a=Endpoint("a", 0), b=Endpoint("b", 0), loss_rate=-0.1)
+
+    def test_lossless_by_default(self):
+        topo = lossy_rack(2, loss_rate=0.0)
+        sim = NetworkSimulator(topo)
+        for _ in range(50):
+            sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=10))
+        sim.run()
+        assert sim.stats.received_packets("h1") == 50
+        assert sim.stats.total_losses() == 0
+
+    def test_half_loss_drops_roughly_half(self):
+        topo = lossy_rack(2, loss_rate=0.5)
+        sim = NetworkSimulator(topo, SimulatorConfig(loss_seed=7))
+        for _ in range(400):
+            sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=10))
+        sim.run()
+        received = sim.stats.received_packets("h1")
+        lost = sim.stats.total_losses()
+        # Every packet is either delivered or lost on exactly one of its hops.
+        assert received + lost == 400
+        # Two lossy hops (host->tor, tor->host): expected delivery ≈ 0.25.
+        assert 40 <= received <= 180
+        assert lost > 100
+
+    def test_loss_is_deterministic_given_seed(self):
+        def run(seed: int) -> int:
+            topo = lossy_rack(2, loss_rate=0.3)
+            sim = NetworkSimulator(topo, SimulatorConfig(loss_seed=seed))
+            for _ in range(100):
+                sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=10))
+            sim.run()
+            return sim.stats.received_packets("h1")
+
+        assert run(3) == run(3)
+
+
+class TestDaietUnderLoss:
+    def _run_daiet(self, loss_rate: float, seed: int = 1) -> tuple[dict, dict]:
+        """Send three mappers' pairs over a (possibly lossy) rack; return
+        (received aggregate, ground-truth aggregate)."""
+        topo = lossy_rack(4, loss_rate=loss_rate)
+        sim = NetworkSimulator(topo, SimulatorConfig(loss_seed=seed))
+        config = DaietConfig(register_slots=1024, reliable_end=True)
+        controller = DaietController(topo, config)
+        job = controller.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+        tree = job.tree_for_reducer("h3")
+        receiver = DaietReceiver(
+            host="h3", tree_id=tree.tree_id, function=SUM,
+            expected_ends=tree.children_count("h3"),
+        )
+        sim.host("h3").set_receiver(receiver.receive)
+
+        all_pairs = []
+        for mapper in ("h0", "h1", "h2"):
+            pairs = [(f"{mapper}key{i}", i + 1) for i in range(20)] + [("shared", 1)]
+            all_pairs.extend(pairs)
+            for packet in packetize_pairs(
+                pairs, tree_id=tree.tree_id, src=mapper, dst="h3", config=config
+            ):
+                sim.send(mapper, packet)
+            # Application-level END retransmission (the reliable_end extension
+            # makes duplicates idempotent at the switch).
+            sim.send(mapper, end_packet(tree.tree_id, mapper, "h3", config))
+        sim.run()
+        return receiver.result(), aggregate_pairs(all_pairs, SUM)
+
+    def test_lossless_run_is_exact(self):
+        received, truth = self._run_daiet(loss_rate=0.0)
+        assert received == truth
+
+    def test_duplicate_ends_are_idempotent_without_loss(self):
+        # The helper always sends each END twice (original + retransmission);
+        # with reliable_end the switch must flush exactly once and the result
+        # stays exact.
+        received, truth = self._run_daiet(loss_rate=0.0, seed=9)
+        assert received == truth
+
+    def test_loss_degrades_but_never_corrupts(self):
+        received, truth = self._run_daiet(loss_rate=0.05, seed=5)
+        # Some pairs may be missing (the paper's acknowledged limitation), but
+        # every value that did arrive must be a partial sum of true
+        # contributions — never larger than the ground truth.
+        assert received  # something still got through
+        for key, value in received.items():
+            assert key in truth
+            assert value <= truth[key]

@@ -1,0 +1,117 @@
+"""Unit and integration tests for routing and the network simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.errors import RoutingError, SimulationError
+from repro.netsim.routing import (
+    compute_routes,
+    host_uplink_switch,
+    install_forwarding_rules,
+    path_switches,
+    shortest_path,
+)
+from repro.netsim.simulator import NetworkSimulator
+from repro.netsim.topology import leaf_spine, single_rack
+from repro.transport.packets import UdpDatagram
+
+
+class TestRouting:
+    def test_single_rack_routes_via_tor(self):
+        topo = single_rack(num_hosts=3)
+        routes = compute_routes(topo)
+        assert routes.next_hop("tor", "h0") == "h0"
+        assert routes.next_hop("tor", "h2") == "h2"
+
+    def test_leaf_spine_paths_are_valley_free(self):
+        topo = leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+        # h0 and h1 share leaf0; h2 lives under leaf1.
+        assert path_switches(topo, "h0", "h1") == ["leaf0"]
+        cross = path_switches(topo, "h0", "h2")
+        assert cross[0] == "leaf0" and cross[-1] == "leaf1" and len(cross) == 3
+
+    def test_shortest_path_endpoints(self):
+        topo = single_rack(num_hosts=2)
+        assert shortest_path(topo, "h0", "h1") == ["h0", "tor", "h1"]
+        assert shortest_path(topo, "h0", "h0") == ["h0"]
+
+    def test_unreachable_destination_raises(self):
+        topo = single_rack(num_hosts=2)
+        with pytest.raises(RoutingError):
+            shortest_path(topo, "h0", "missing")
+
+    def test_host_uplink_switch(self):
+        topo = leaf_spine(num_leaves=2, num_spines=1, hosts_per_leaf=2)
+        assert host_uplink_switch(topo, "h0") == "leaf0"
+        with pytest.raises(RoutingError):
+            host_uplink_switch(topo, "leaf0")
+
+    def test_install_forwarding_rules_counts(self):
+        topo = leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+        installed = install_forwarding_rules(topo)
+        # Every switch gets one entry per host.
+        assert installed == len(topo.switches()) * len(topo.hosts())
+
+
+class TestNetworkSimulator:
+    def test_host_to_host_delivery(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        received = []
+        sim.host("h1").set_receiver(received.append)
+        packet = UdpDatagram(src="h0", dst="h1", payload_bytes=128)
+        sim.send("h0", packet)
+        sim.run()
+        assert received == [packet]
+        assert sim.stats.received_packets("h1") == 1
+        assert sim.stats.received_bytes("h1") == packet.wire_bytes()
+        assert sim.now > 0.0
+
+    def test_delivery_across_fabric(self):
+        sim = NetworkSimulator(leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2))
+        received = []
+        sim.host("h3").set_receiver(received.append)
+        sim.send("h0", UdpDatagram(src="h0", dst="h3", payload_bytes=64))
+        sim.run()
+        assert len(received) == 1
+        # The packet crossed leaf0 -> a spine -> leaf1: three switch hops.
+        assert sim.stats.total_link_packets() == 4
+
+    def test_fifo_ordering_per_link(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        received = []
+        sim.host("h1").set_receiver(lambda p: received.append(p.payload_bytes))
+        # A large packet sent first must still arrive before a small one sent
+        # immediately after (links serialize transmissions).
+        sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=1400))
+        sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=10))
+        sim.run()
+        assert received == [1400, 10]
+
+    def test_send_from_switch_rejected(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        with pytest.raises(SimulationError):
+            sim.send("tor", UdpDatagram(src="tor", dst="h1", payload_bytes=1))
+
+    def test_unknown_destination_is_dropped(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        sim.send("h0", UdpDatagram(src="h0", dst="nowhere", payload_bytes=1))
+        sim.run()
+        assert sim.stats.total_received_packets(["h1"]) == 0
+
+    def test_host_and_switch_accessors(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        assert sim.host("h0").name == "h0"
+        assert sim.switch("tor").name == "tor"
+        with pytest.raises(SimulationError):
+            sim.host("tor")
+        with pytest.raises(SimulationError):
+            sim.switch("h0")
+
+    def test_stats_reset(self):
+        sim = NetworkSimulator(single_rack(num_hosts=2))
+        sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=1))
+        sim.run()
+        sim.stats.reset()
+        assert sim.stats.total_received_packets() == 0
+        assert sim.stats.total_link_bytes() == 0

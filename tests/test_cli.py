@@ -1,0 +1,44 @@
+"""Tests for the command-line front end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        for command in ("fig1a", "fig1b", "fig1c", "fig3", "all"):
+            args = parser.parse_args([command, "--quick"])
+            assert args.command == command
+            assert args.quick is True
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_fig1c_accepts_vertices(self):
+        args = build_parser().parse_args(["fig1c", "--quick", "--vertices", "500"])
+        assert args.vertices == 500
+
+
+class TestExecution:
+    def test_fig1a_quick_prints_report(self, capsys):
+        assert main(["fig1a", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1(a)" in out
+        assert "42.5%" in out  # paper reference column
+
+    def test_fig1c_quick_prints_all_algorithms(self, capsys):
+        assert main(["fig1c", "--quick", "--vertices", "800"]) == 0
+        out = capsys.readouterr().out
+        for name in ("PageRank", "SSSP", "WCC"):
+            assert name in out
+
+    def test_fig3_quick_prints_boxplots(self, capsys):
+        assert main(["fig3", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Data volume reduction (vs TCP)" in out
+        assert "[paper: 86.9%-89.3%]" in out

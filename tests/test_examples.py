@@ -1,0 +1,42 @@
+"""Smoke tests: every example script runs to completion and verifies itself.
+
+The examples contain their own assertions (they compare against host-side
+aggregation or ground truth), so a zero exit status means the demonstrated
+behaviour actually held.
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 240) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize(
+    ("script", "args", "expected"),
+    [
+        ("quickstart.py", (), "OK: result identical to host-side aggregation"),
+        ("wordcount_daiet.py", (), "correctness preserved"),
+        ("ml_overlap.py", ("--steps", "10"), "averages (paper reference in brackets):"),
+        ("graph_analytics.py", ("--vertices", "1500"), "identical ranks"),
+        ("ml_training_daiet.py", ("--steps", "2"), "matches host-side aggregation"),
+    ],
+    ids=["quickstart", "wordcount", "ml_overlap", "graph_analytics", "ml_training"],
+)
+def test_example_runs_and_verifies(script, args, expected):
+    result = run_example(script, *args)
+    assert result.returncode == 0, result.stderr
+    assert expected in result.stdout
