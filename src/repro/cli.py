@@ -6,6 +6,7 @@ Usage::
     python -m repro fig1b [--quick]
     python -m repro fig1c [--quick] [--vertices N]
     python -m repro fig3  [--quick]
+    python -m repro loss-sweep [--quick]
     python -m repro all   [--quick]
 
 Each subcommand runs the corresponding experiment runner from
@@ -29,6 +30,7 @@ from repro.experiments.figure1_ml import (
     run_figure1b,
 )
 from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
 
 
 def _ml_settings(quick: bool) -> Figure1MlSettings:
@@ -84,9 +86,21 @@ def run_fig3(args: argparse.Namespace) -> str:
     return run_figure3(settings).report
 
 
+def run_loss_sweep_cmd(args: argparse.Namespace) -> str:
+    """Loss sweep: exact aggregation under lossy links (reliability layer)."""
+    settings = LossSweepSettings().quick() if args.quick else LossSweepSettings()
+    return run_loss_sweep(settings).report
+
+
 def run_all(args: argparse.Namespace) -> str:
     """Every figure, back to back."""
-    parts = [run_fig1a(args), run_fig1b(args), run_fig1c(args), run_fig3(args)]
+    parts = [
+        run_fig1a(args),
+        run_fig1b(args),
+        run_fig1c(args),
+        run_fig3(args),
+        run_loss_sweep_cmd(args),
+    ]
     return "\n\n".join(parts)
 
 
@@ -95,6 +109,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1b": run_fig1b,
     "fig1c": run_fig1c,
     "fig3": run_fig3,
+    "loss-sweep": run_loss_sweep_cmd,
     "all": run_all,
 }
 

@@ -14,13 +14,20 @@ plugged into the switch pipeline as an extern action by the controller.
 from __future__ import annotations
 
 import zlib
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass, field, replace
+from typing import Any, Iterable
 
 from repro.core.config import DaietConfig
 from repro.core.errors import AggregationError
 from repro.core.functions import AggregationFunction, get as get_function
-from repro.core.packet import DaietPacket, DaietPacketType, end_packet, packetize_pairs
+from repro.core.packet import (
+    DaietAck,
+    DaietPacket,
+    DaietPacketType,
+    SeenWindow,
+    end_packet,
+    packetize_pairs,
+)
 from repro.dataplane.actions import PacketContext
 from repro.dataplane.registers import IndexStack, RegisterArray, SpilloverBucket
 
@@ -49,9 +56,15 @@ class TreeCounters:
     pairs_inserted: int = 0
     collisions: int = 0
     spillover_flushes: int = 0
+    spillover_merges: int = 0
     final_flushes: int = 0
     packets_emitted: int = 0
     pairs_emitted: int = 0
+    duplicate_packets: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    retransmitted_packets: int = 0
+    ack_port_misses: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Counters as a plain dictionary."""
@@ -69,13 +82,28 @@ class TreeState:
     egress_port: int
     next_hop_dst: str
     switch_name: str
+    #: Egress port towards each direct child (device name -> port), used to
+    #: route reliability ACKs back down the tree.
+    child_ports: dict[str, int] = field(default_factory=dict)
     key_register: RegisterArray = field(init=False)
     value_register: RegisterArray = field(init=False)
     index_stack: IndexStack = field(init=False)
     spillover: SpilloverBucket = field(init=False)
     remaining_children: int = field(init=False)
     counters: TreeCounters = field(default_factory=TreeCounters)
-    _end_sources_seen: set[str] = field(default_factory=set, repr=False)
+    #: Children whose END was accepted in the current round (idempotence).
+    _ended_sources: set[str] = field(default_factory=set, repr=False)
+    #: Per-child duplicate filter over sequence numbers (reliability layer).
+    _seen: dict[str, SeenWindow] = field(default_factory=dict, repr=False)
+    #: In-order packets received per child since the last ACK was emitted.
+    _since_ack: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Flush packets emitted towards the parent and not yet acknowledged.
+    _unacked: dict[int, DaietPacket] = field(default_factory=dict, repr=False)
+    #: Next sequence number for the switch's own emissions towards the parent.
+    _next_seq: int = field(default=0, repr=False)
+    #: Sequence numbers already retransmitted since the last ACK progress,
+    #: so duplicate ACKs do not trigger a retransmission storm.
+    _retransmitted: set[int] = field(default_factory=set, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_children <= 0:
@@ -94,14 +122,25 @@ class TreeState:
         """Number of register slots currently holding an aggregated pair."""
         return len(self.index_stack)
 
+    def window(self, src: str) -> SeenWindow:
+        """The sequence-number window tracking one child's stream."""
+        if src not in self._seen:
+            self._seen[src] = SeenWindow()
+        return self._seen[src]
+
     def rearm(self) -> None:
-        """Reset the tree state for the next aggregation round."""
+        """Reset the tree state for the next aggregation round.
+
+        Sequence windows and the unacknowledged-flush buffer deliberately
+        survive rearming: sequence numbers are monotonic across rounds, and
+        flush packets from the finished round may still need retransmitting.
+        """
         self.key_register.reset()
         self.value_register.reset()
         self.index_stack.clear()
         self.spillover.flush()
         self.remaining_children = self.num_children
-        self._end_sources_seen.clear()
+        self._ended_sources.clear()
 
 
 class DaietAggregationEngine:
@@ -122,6 +161,7 @@ class DaietAggregationEngine:
         egress_port: int,
         next_hop_dst: str,
         config: DaietConfig | None = None,
+        child_ports: dict[str, int] | None = None,
     ) -> TreeState:
         """Install (or replace) the state for one aggregation tree."""
         if isinstance(function, str):
@@ -134,6 +174,7 @@ class DaietAggregationEngine:
             egress_port=egress_port,
             next_hop_dst=next_hop_dst,
             switch_name=self.switch_name,
+            child_ports=dict(child_ports or {}),
         )
         self._trees[tree_id] = state
         return state
@@ -165,36 +206,100 @@ class DaietAggregationEngine:
     def pipeline_action(self, ctx: PacketContext) -> None:
         """Extern entry point used inside the switch pipeline.
 
-        The incoming DAIET packet is consumed (it never continues to the
-        forwarding stage); any packets produced by flushes are emitted on the
-        tree's egress port.
+        The incoming DAIET packet (or ACK) is consumed — it never continues
+        to the forwarding stage. Flushed aggregates go out on the tree's
+        egress port; reliability ACKs go out on the originating child's port.
         """
         packet = ctx.packet
+        if isinstance(packet, DaietAck):
+            ctx.metadata["consumed"] = True
+            ctx.charge(1)
+            for port, out_packet in self.handle_ack(packet):
+                ctx.emit(port, out_packet)
+            return
         if not isinstance(packet, DaietPacket):
             raise AggregationError(
                 f"DAIET extern on switch {self.switch_name!r} received a "
                 f"{type(packet).__name__}"
             )
         ctx.metadata["consumed"] = True
-        state = self.tree(packet.tree_id)
         # Charge one operation per pair, modelling the per-stage ALU work.
         ctx.charge(max(1, packet.num_pairs))
-        for out_packet in self.process_packet(packet):
-            ctx.emit(state.egress_port, out_packet)
+        for port, out_packet in self.handle_packet(packet):
+            ctx.emit(port, out_packet)
 
-    def process_packet(self, packet: DaietPacket) -> list[DaietPacket]:
-        """Pure form of Algorithm 1: consume one packet, return emitted packets."""
+    def handle_packet(self, packet: DaietPacket) -> list[tuple[int, Any]]:
+        """Consume one packet; return ``(egress_port, packet)`` emissions.
+
+        This is the full data-plane behaviour: parent-bound flushes plus any
+        child-bound reliability ACKs.
+        """
         state = self.tree(packet.tree_id)
         state.counters.packets_received += 1
         if packet.packet_type is DaietPacketType.DATA:
             return self._process_data(state, packet)
         return self._process_end(state, packet)
 
+    def process_packet(self, packet: DaietPacket) -> list[DaietPacket]:
+        """Pure form of Algorithm 1: the packets flushed towards the parent."""
+        return [
+            out for _port, out in self.handle_packet(packet)
+            if isinstance(out, DaietPacket)
+        ]
+
+    def handle_ack(self, ack: DaietAck) -> list[tuple[int, Any]]:
+        """Process a reliability ACK arriving at this switch.
+
+        ACKs addressed to this switch release buffered flush packets and
+        trigger retransmissions (gap-filling on selective ACKs, a full resend
+        on ``pull`` ACKs). ACKs addressed elsewhere are forwarded towards the
+        child when a port is known, or silently dropped otherwise.
+        """
+        state = self._trees.get(ack.tree_id)
+        if state is None:
+            return []
+        if ack.dst != self.switch_name:
+            port = state.child_ports.get(ack.dst)
+            return [(port, ack)] if port is not None else []
+        state.counters.acks_received += 1
+        sacked = set(ack.sack)
+        acked = [s for s in state._unacked if s < ack.cumulative or s in sacked]
+        for seq in acked:
+            del state._unacked[seq]
+        if acked:
+            # Progress: previously retransmitted packets may be resent again
+            # if a later ACK still reports them missing.
+            state._retransmitted.clear()
+        if ack.pull:
+            missing = sorted(state._unacked)
+        else:
+            # Gap-fill: everything the receiver provably overtook is resent
+            # (at most once per ACK progress, so duplicate ACKs cannot cause
+            # a storm); tail losses are recovered by the receiver's pull.
+            horizon = max(sacked) if sacked else -1
+            missing = sorted(
+                s
+                for s in state._unacked
+                if s < horizon and s not in state._retransmitted
+            )
+        out: list[tuple[int, Any]] = []
+        for seq in missing:
+            state._retransmitted.add(seq)
+            state.counters.retransmitted_packets += 1
+            out.append((state.egress_port, state._unacked[seq]))
+        return out
+
     # ------------------------------------------------------------------ #
     # Algorithm 1
     # ------------------------------------------------------------------ #
-    def _process_data(self, state: TreeState, packet: DaietPacket) -> list[DaietPacket]:
-        emitted: list[DaietPacket] = []
+    def _process_data(self, state: TreeState, packet: DaietPacket) -> list[tuple[int, Any]]:
+        emitted: list[tuple[int, Any]] = []
+        if packet.seq is not None:
+            window = state.window(packet.src)
+            if not window.observe(packet.seq):
+                # Retransmission of something already aggregated: idempotent.
+                state.counters.duplicate_packets += 1
+                return self._ack_child(state, packet.src)
         for key, value in packet.pairs:
             state.counters.pairs_received += 1
             idx = hash_key(key, state.config.register_slots)
@@ -209,18 +314,59 @@ class DaietAggregationEngine:
                 state.counters.pairs_aggregated += 1
             else:
                 state.counters.collisions += 1
-                state.spillover.store(key, value)
-                if state.spillover.is_full:
-                    emitted.extend(self._flush_spillover(state))
+                if state.spillover.store(key, value, state.function):
+                    if state.spillover.is_full:
+                        emitted.extend(self._flush_spillover(state))
+                else:
+                    state.counters.spillover_merges += 1
+        if packet.seq is not None:
+            src = packet.src
+            window = state.window(src)
+            state._since_ack[src] = state._since_ack.get(src, 0) + 1
+            if state._since_ack[src] >= state.config.ack_window:
+                emitted.extend(self._ack_child(state, src))
+            if window.complete and src not in state._ended_sources:
+                # A retransmitted DATA packet filled the last gap before a
+                # previously stashed END: the child's stream is now complete.
+                emitted.extend(self._accept_end(state, src))
         return emitted
 
-    def _process_end(self, state: TreeState, packet: DaietPacket) -> list[DaietPacket]:
+    def _process_end(self, state: TreeState, packet: DaietPacket) -> list[tuple[int, Any]]:
         state.counters.end_packets_received += 1
+        if packet.seq is not None:
+            window = state.window(packet.src)
+            fresh = window.observe(packet.seq)
+            if fresh:
+                window.end_seq = packet.seq
+            else:
+                state.counters.duplicate_packets += 1
+            emitted = self._ack_child(state, packet.src)
+            if window.complete and packet.src not in state._ended_sources:
+                emitted.extend(self._accept_end(state, packet.src))
+            # An incomplete stream stashes the END: the decrement happens
+            # when retransmissions fill the gaps (see _process_data).
+            return emitted
         if state.config.reliable_end:
-            if packet.src in state._end_sources_seen:
+            if packet.src in state._ended_sources:
                 # Retransmitted END: idempotent, no double decrement.
                 return []
-            state._end_sources_seen.add(packet.src)
+            return self._accept_end(state, packet.src)
+        return self._count_end(state)
+
+    def _accept_end(self, state: TreeState, src: str) -> list[tuple[int, Any]]:
+        """Count one child's END exactly once; flush when it was the last."""
+        if src in state._ended_sources:
+            return []
+        state._ended_sources.add(src)
+        window = state._seen.get(src)
+        if window is not None:
+            # The END marker is consumed; the window keeps counting across
+            # rounds, so late duplicates are still filtered.
+            window.end_seq = None
+        return self._count_end(state)
+
+    def _count_end(self, state: TreeState) -> list[tuple[int, Any]]:
+        """Decrement the remaining-children counter; flush on the last END."""
         if state.remaining_children <= 0:
             raise AggregationError(
                 f"switch {self.switch_name!r} received an unexpected END packet "
@@ -233,17 +379,40 @@ class DaietAggregationEngine:
         state.rearm()
         return emitted
 
+    def _ack_child(self, state: TreeState, src: str) -> list[tuple[int, Any]]:
+        """Build the cumulative+selective ACK for one child's stream."""
+        window = state._seen.get(src)
+        if window is None:
+            return []
+        state._since_ack[src] = 0
+        port = state.child_ports.get(src)
+        if port is None:
+            # No known port towards the child (e.g. a tree configured without
+            # child ports): the sender's own timeout still recovers losses.
+            state.counters.ack_port_misses += 1
+            return []
+        cumulative, sack = window.ack_state()
+        state.counters.acks_sent += 1
+        ack = DaietAck(
+            tree_id=state.tree_id,
+            src=self.switch_name,
+            dst=src,
+            cumulative=cumulative,
+            sack=sack,
+        )
+        return [(port, ack)]
+
     # ------------------------------------------------------------------ #
     # Flushing
     # ------------------------------------------------------------------ #
-    def _flush_spillover(self, state: TreeState) -> list[DaietPacket]:
+    def _flush_spillover(self, state: TreeState) -> list[tuple[int, Any]]:
         pairs = state.spillover.flush()
         if not pairs:
             return []
         state.counters.spillover_flushes += 1
         return self._emit_pairs(state, pairs, include_end=False)
 
-    def _flush_all(self, state: TreeState) -> list[DaietPacket]:
+    def _flush_all(self, state: TreeState) -> list[tuple[int, Any]]:
         """Flush spillover first, then the aggregated registers, then END."""
         state.counters.final_flushes += 1
         pairs: list[tuple[str, int]] = list(state.spillover.flush())
@@ -265,7 +434,7 @@ class DaietAggregationEngine:
         state: TreeState,
         pairs: Iterable[tuple[str, int]],
         include_end: bool,
-    ) -> list[DaietPacket]:
+    ) -> list[tuple[int, Any]]:
         packets = list(
             packetize_pairs(
                 pairs,
@@ -285,6 +454,18 @@ class DaietAggregationEngine:
                     config=state.config,
                 )
             )
+        if state.config.reliability:
+            # The switch is itself a reliable sender towards its parent: its
+            # emissions carry sequence numbers and stay buffered until the
+            # parent acknowledges them (retransmission is ACK/pull-driven
+            # because switches have no timers).
+            sequenced = []
+            for packet in packets:
+                packet = replace(packet, seq=state._next_seq)
+                state._next_seq += 1
+                state._unacked[packet.seq] = packet
+                sequenced.append(packet)
+            packets = sequenced
         state.counters.packets_emitted += len(packets)
         state.counters.pairs_emitted += sum(p.num_pairs for p in packets)
-        return packets
+        return [(state.egress_port, packet) for packet in packets]

@@ -66,9 +66,29 @@ class DaietConfig:
         Extension flag (paper future work): serialize keys with a one-byte
         length prefix instead of fixed-size padding.
     reliable_end:
-        Extension flag (paper future work): make END-packet handling idempotent
-        so that retransmitted END packets do not double-decrement the
-        remaining-children counter.
+        Idempotent END-packet handling: retransmitted or duplicated END
+        packets from a child never double-decrement the remaining-children
+        counter. The paper leaves loss handling as future work; the
+        reproduction promotes idempotent ENDs to the default path (disable
+        only to demonstrate the historical failure mode).
+    reliability:
+        Enable the full end-host reliability layer: per-(tree, sender)
+        sequence numbers on every DATA/END packet, cumulative+selective ACKs,
+        timeout-driven retransmission at the hosts and reactive
+        retransmission of buffered flush packets at the switches. Makes
+        aggregation results exact under non-zero ``Link.loss_rate``.
+    retransmit_timeout:
+        Base retransmission timeout in (simulated) seconds for host senders;
+        also paces the receiver-side pull timer. Doubles per consecutive
+        timeout up to a small cap.
+    ack_window:
+        A receiver acknowledges every ``ack_window``-th in-order packet
+        (duplicates and END markers are acknowledged immediately), so ACK
+        overhead is ~1/ack_window of the data packet count.
+    max_retransmits:
+        Per-channel cap on consecutive unacknowledged retransmission rounds
+        before the sender gives up and raises, bounding simulation time on
+        pathological loss rates.
     """
 
     register_slots: int = DEFAULT_REGISTER_SLOTS
@@ -77,7 +97,11 @@ class DaietConfig:
     pairs_per_packet: int = DEFAULT_PAIRS_PER_PACKET
     spillover_capacity: int | None = None
     variable_length_keys: bool = False
-    reliable_end: bool = False
+    reliable_end: bool = True
+    reliability: bool = False
+    retransmit_timeout: float = 1e-4
+    ack_window: int = 8
+    max_retransmits: int = 30
 
     def __post_init__(self) -> None:
         if self.register_slots <= 0:
@@ -90,6 +114,12 @@ class DaietConfig:
             raise ConfigurationError("pairs_per_packet must be positive")
         if self.spillover_capacity is not None and self.spillover_capacity <= 0:
             raise ConfigurationError("spillover_capacity must be positive when set")
+        if self.retransmit_timeout <= 0:
+            raise ConfigurationError("retransmit_timeout must be positive")
+        if self.ack_window <= 0:
+            raise ConfigurationError("ack_window must be positive")
+        if self.max_retransmits <= 0:
+            raise ConfigurationError("max_retransmits must be positive")
 
     @property
     def effective_spillover_capacity(self) -> int:

@@ -132,6 +132,10 @@ class DaietController:
             engine = self._engine_for(device)
             egress_port = self.topology.port_towards(node.name, node.parent)
             num_children = tree.children_count(node.name)
+            child_ports = {
+                child: self.topology.port_towards(node.name, child)
+                for child in tree.node(node.name).children
+            }
             state = engine.configure_tree(
                 tree_id=tree.tree_id,
                 function=function,
@@ -139,6 +143,7 @@ class DaietController:
                 egress_port=egress_port,
                 next_hop_dst=tree.reducer,
                 config=self.config,
+                child_ports=child_ports,
             )
             device.switch.ledger.allocate_sram(
                 owner=f"tree{tree.tree_id}", nbytes=state.config.sram_bytes()

@@ -17,8 +17,8 @@ aggregation with a handful of calls:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Iterable
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Any, Iterable
 
 from repro.core.aggregation import DaietAggregationEngine
 from repro.core.config import DaietConfig
@@ -27,8 +27,11 @@ from repro.core.errors import ControllerError
 from repro.core.functions import AggregationFunction, get as get_function
 from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
 from repro.core.tree import AggregationTree
-from repro.netsim.simulator import NetworkSimulator
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
 from repro.netsim.topology import Topology, single_rack
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <-> transport)
+    from repro.transport.reliability import HostReliabilityAgent
 
 
 @dataclass
@@ -97,18 +100,43 @@ class DaietSystem:
         self,
         topology: Topology,
         config: DaietConfig | None = None,
+        simulator_config: SimulatorConfig | None = None,
     ) -> None:
         self.topology = topology
         self.config = config or DaietConfig()
-        self.simulator = NetworkSimulator(topology)
+        self.simulator = NetworkSimulator(topology, simulator_config)
         self.controller = DaietController(topology, self.config)
         self._receivers: dict[str, DaietReceiver] = {}
         self._jobs: list[InstalledJob] = []
+        self._agents: dict[str, "HostReliabilityAgent"] = {}
 
     @classmethod
-    def single_rack(cls, num_hosts: int, config: DaietConfig | None = None) -> "DaietSystem":
+    def single_rack(
+        cls,
+        num_hosts: int,
+        config: DaietConfig | None = None,
+        simulator_config: SimulatorConfig | None = None,
+    ) -> "DaietSystem":
         """Convenience constructor: ``num_hosts`` hosts behind one ToR switch."""
-        return cls(single_rack(num_hosts), config=config)
+        return cls(single_rack(num_hosts), config=config, simulator_config=simulator_config)
+
+    def _agent(self, host: str) -> "HostReliabilityAgent":
+        """The reliability endpoint of ``host`` (created on first use).
+
+        Imported lazily: :mod:`repro.transport` itself imports the simulator,
+        so a module-level import here would close an import cycle.
+        """
+        from repro.transport.reliability import HostReliabilityAgent
+
+        if host not in self._agents:
+            self._agents[host] = HostReliabilityAgent.from_config(
+                self.simulator, host, self.config
+            )
+        return self._agents[host]
+
+    def reliability_stats(self) -> dict[str, dict[str, int]]:
+        """Per-host reliability counters (empty when reliability is off)."""
+        return {host: agent.stats.snapshot() for host, agent in self._agents.items()}
 
     # ------------------------------------------------------------------ #
     # Job management
@@ -130,7 +158,17 @@ class DaietSystem:
                 expected_ends=tree.children_count(reducer),
             )
             self._receivers[reducer] = receiver
-            self.simulator.host(reducer).set_receiver(receiver.receive)
+            if self.config.reliability:
+                # The reliability agent owns the host NIC: it dedups sequenced
+                # packets, acknowledges the tree's children and hands clean
+                # packets to the application receiver.
+                self._agent(reducer).attach_tree(
+                    tree.tree_id,
+                    children=tree.node(reducer).children,
+                    inner=receiver.receive,
+                )
+            else:
+                self.simulator.host(reducer).set_receiver(receiver.receive)
         self._jobs.append(job)
         return job
 
@@ -171,6 +209,23 @@ class DaietSystem:
             raise ControllerError(
                 f"host {mapper!r} is not a mapper of the tree rooted at {reducer!r}"
             )
+        if self.config.reliability:
+            channel = self._agent(mapper).sender(tree.tree_id)
+            packets = [
+                replace(packet, seq=channel.take_seq())
+                for packet in packetize_pairs(
+                    pairs,
+                    tree_id=tree.tree_id,
+                    src=mapper,
+                    dst=reducer,
+                    config=self.config,
+                    include_end=include_end,
+                )
+            ]
+            count = channel.send(packets)
+            # The reducer starts pulling so even a fully-lost flush recovers.
+            self._agent(reducer).arm(tree.tree_id)
+            return count
         count = 0
         for packet in packetize_pairs(
             pairs,

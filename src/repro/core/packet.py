@@ -36,6 +36,31 @@ from repro.core.errors import PacketFormatError
 #: UDP destination port reserved for DAIET traffic in the simulation.
 DAIET_UDP_PORT = 5555
 
+#: Preamble flag: a 32-bit per-tree sequence number follows the preamble.
+FLAG_SEQ = 0x01
+
+#: Preamble flag: one key-length byte per pair follows the (optional) sequence
+#: number. Only emitted for fixed-width packets whose keys end in NUL bytes,
+#: which padding-stripping alone cannot round-trip.
+FLAG_KEYLEN = 0x02
+
+#: Serialized size of the optional per-tree sequence number.
+SEQ_BYTES = 4
+
+#: Serialized size of a DAIET ACK payload before its SACK list (preamble-sized
+#: header plus 32-bit cumulative ACK, 16-bit SACK count and an 8-bit pull flag).
+DAIET_ACK_BASE_BYTES = DAIET_PREAMBLE_BYTES + 7
+
+#: Serialized size of one SACK entry in a DAIET ACK.
+DAIET_ACK_SACK_BYTES = 4
+
+#: Maximum SACK entries one ACK may carry: the ACK must stay within the
+#: switch parser's bounded parse depth (~300 B), exactly like DATA packets
+#: are limited to ~10 pairs. Receivers report the lowest out-of-order
+#: sequence numbers first; anything beyond the cap is recovered by later
+#: ACKs or the pull path.
+DAIET_ACK_MAX_SACK = 32
+
 
 class DaietPacketType(enum.Enum):
     """The two packet kinds of the DAIET protocol."""
@@ -54,10 +79,19 @@ class DaietPacket:
     packet_type: DaietPacketType = DaietPacketType.DATA
     pairs: tuple[tuple[str, int], ...] = ()
     config: DaietConfig = field(default_factory=DaietConfig)
+    #: Optional per-(tree, sender) sequence number used by the reliability
+    #: layer; ``None`` keeps the original, unreliable wire format byte-for-byte.
+    seq: int | None = None
 
     def __post_init__(self) -> None:
         if self.tree_id < 0:
             raise PacketFormatError("tree_id must be non-negative")
+        if self.seq is not None and not 0 <= self.seq < 2**32:
+            raise PacketFormatError("seq must fit an unsigned 32-bit field")
+        # Cached: payload_bytes()/encode()/header_stack() run on hot
+        # accounting paths (per hop, per retransmission) and the pairs of a
+        # frozen packet never change.
+        object.__setattr__(self, "_keylen_needed", self._compute_needs_keylens())
         if self.packet_type is DaietPacketType.END and self.pairs:
             raise PacketFormatError("END packets must not carry key-value pairs")
         if len(self.pairs) > self.config.pairs_per_packet:
@@ -81,6 +115,25 @@ class DaietPacket:
         """Number of key-value pairs carried by the packet."""
         return len(self.pairs)
 
+    def _compute_needs_keylens(self) -> bool:
+        if self.config.variable_length_keys:
+            return False
+        for key, _value in self.pairs:
+            encoded = key.encode() if isinstance(key, str) else bytes(key)
+            if encoded.endswith(b"\x00"):
+                return True
+        return False
+
+    def _needs_keylens(self) -> bool:
+        """True when fixed-width keys require explicit length bytes.
+
+        ``ljust`` pads short keys with NUL bytes; a key that *legitimately*
+        ends in NULs is indistinguishable from padding unless the true length
+        travels with the packet, so such packets carry one length byte per
+        pair (see :data:`FLAG_KEYLEN`).
+        """
+        return self._keylen_needed  # type: ignore[attr-defined]
+
     def payload_bytes(self) -> int:
         """DAIET payload size: preamble plus the serialized pairs."""
         if self.config.variable_length_keys:
@@ -90,7 +143,10 @@ class DaietPacket:
             )
         else:
             pair_bytes = self.num_pairs * self.config.pair_bytes
-        return DAIET_PREAMBLE_BYTES + pair_bytes
+            if self._needs_keylens():
+                pair_bytes += self.num_pairs
+        extra = SEQ_BYTES if self.seq is not None else 0
+        return DAIET_PREAMBLE_BYTES + extra + pair_bytes
 
     def wire_bytes(self) -> int:
         """Full frame size (Ethernet + IPv4 + UDP + DAIET payload)."""
@@ -121,8 +177,11 @@ class DaietPacket:
                     "tree_id": self.tree_id,
                     "type": self.packet_type.name,
                     "num_entries": self.num_pairs,
+                    "seq": self.seq,
                 },
-                DAIET_PREAMBLE_BYTES,
+                DAIET_PREAMBLE_BYTES
+                + (SEQ_BYTES if self.seq is not None else 0)
+                + (self.num_pairs if self._needs_keylens() else 0),
             ),
         ]
         for i, (key, value) in enumerate(self.pairs):
@@ -138,10 +197,20 @@ class DaietPacket:
     # ------------------------------------------------------------------ #
     def encode(self) -> bytes:
         """Serialize the DAIET payload (preamble + pairs) to bytes."""
+        needs_keylens = self._needs_keylens()
+        flags = (FLAG_SEQ if self.seq is not None else 0) | (
+            FLAG_KEYLEN if needs_keylens else 0
+        )
         preamble = struct.pack(
-            "!IHBB", self.tree_id, self.num_pairs, self.packet_type.value, 0
+            "!IHBB", self.tree_id, self.num_pairs, self.packet_type.value, flags
         )
         chunks = [preamble]
+        if self.seq is not None:
+            chunks.append(struct.pack("!I", self.seq))
+        if needs_keylens:
+            chunks.append(
+                bytes(_key_bytes_len(key, self.config) for key, _ in self.pairs)
+            )
         for key, value in self.pairs:
             key_bytes = key.encode() if isinstance(key, str) else bytes(key)
             if self.config.variable_length_keys:
@@ -160,7 +229,7 @@ class DaietPacket:
         config = config or DaietConfig()
         if len(data) < DAIET_PREAMBLE_BYTES:
             raise PacketFormatError("payload shorter than the DAIET preamble")
-        tree_id, num_pairs, type_value, _reserved = struct.unpack(
+        tree_id, num_pairs, type_value, flags = struct.unpack(
             "!IHBB", data[:DAIET_PREAMBLE_BYTES]
         )
         try:
@@ -168,8 +237,20 @@ class DaietPacket:
         except ValueError as exc:
             raise PacketFormatError(f"unknown DAIET packet type {type_value}") from exc
         offset = DAIET_PREAMBLE_BYTES
+        seq: int | None = None
+        if flags & FLAG_SEQ:
+            if len(data) < offset + SEQ_BYTES:
+                raise PacketFormatError("truncated sequence number")
+            (seq,) = struct.unpack("!I", data[offset : offset + SEQ_BYTES])
+            offset += SEQ_BYTES
+        key_lens: bytes | None = None
+        if flags & FLAG_KEYLEN:
+            key_lens = data[offset : offset + num_pairs]
+            if len(key_lens) != num_pairs:
+                raise PacketFormatError("truncated key-length table")
+            offset += num_pairs
         pairs: list[tuple[str, int]] = []
-        for _ in range(num_pairs):
+        for i in range(num_pairs):
             if config.variable_length_keys:
                 if offset >= len(data):
                     raise PacketFormatError("truncated variable-length key")
@@ -184,7 +265,15 @@ class DaietPacket:
                 if len(key_bytes) != config.key_width:
                     raise PacketFormatError("truncated fixed-size key")
                 offset += config.key_width
-                key_bytes = key_bytes.rstrip(b"\x00")
+                if key_lens is not None:
+                    # The exact key length travelled with the packet: strip
+                    # only the padding bytes appended by ``ljust``, preserving
+                    # keys that legitimately end in NUL bytes.
+                    if key_lens[i] > config.key_width:
+                        raise PacketFormatError("key length exceeds the key width")
+                    key_bytes = key_bytes[: key_lens[i]]
+                else:
+                    key_bytes = key_bytes.rstrip(b"\x00")
             value_bytes = data[offset : offset + config.value_width]
             if len(value_bytes) != config.value_width:
                 raise PacketFormatError("truncated value")
@@ -197,6 +286,7 @@ class DaietPacket:
             packet_type=packet_type,
             pairs=tuple(pairs),
             config=config,
+            seq=seq,
         )
 
 
@@ -230,14 +320,18 @@ def packetize_pairs(
     dst: str,
     config: DaietConfig | None = None,
     include_end: bool = True,
+    seq_start: int | None = None,
 ) -> Iterator[DaietPacket]:
     """Split a stream of key-value pairs into DAIET DATA packets (plus END).
 
     This is the mapper-side packetization described in the paper: the map
     output is written so that packets always carry complete pairs; the final
-    END packet marks the end of the partition.
+    END packet marks the end of the partition. When ``seq_start`` is given,
+    the packets (END included) carry consecutive sequence numbers starting
+    there, as required by the reliability layer.
     """
     config = config or DaietConfig()
+    seq = seq_start
     batch: list[tuple[str, int]] = []
     for pair in pairs:
         batch.append(pair)
@@ -249,7 +343,10 @@ def packetize_pairs(
                 packet_type=DaietPacketType.DATA,
                 pairs=tuple(batch),
                 config=config,
+                seq=seq,
             )
+            if seq is not None:
+                seq += 1
             batch = []
     if batch:
         yield DaietPacket(
@@ -259,7 +356,10 @@ def packetize_pairs(
             packet_type=DaietPacketType.DATA,
             pairs=tuple(batch),
             config=config,
+            seq=seq,
         )
+        if seq is not None:
+            seq += 1
     if include_end:
         yield DaietPacket(
             tree_id=tree_id,
@@ -268,10 +368,17 @@ def packetize_pairs(
             packet_type=DaietPacketType.END,
             pairs=(),
             config=config,
+            seq=seq,
         )
 
 
-def end_packet(tree_id: int, src: str, dst: str, config: DaietConfig | None = None) -> DaietPacket:
+def end_packet(
+    tree_id: int,
+    src: str,
+    dst: str,
+    config: DaietConfig | None = None,
+    seq: int | None = None,
+) -> DaietPacket:
     """Build an END packet for the given tree."""
     return DaietPacket(
         tree_id=tree_id,
@@ -280,4 +387,114 @@ def end_packet(tree_id: int, src: str, dst: str, config: DaietConfig | None = No
         packet_type=DaietPacketType.END,
         pairs=(),
         config=config or DaietConfig(),
+        seq=seq,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Reliability primitives (sequence tracking and ACK packets)
+# ---------------------------------------------------------------------- #
+class SeenWindow:
+    """Receiver-side view of one (tree, sender) sequence-number stream.
+
+    Tracks the cumulative ACK point (every sequence number below
+    ``cumulative`` has been received) plus the set of out-of-order sequence
+    numbers above it, which is what the selective-ACK field of
+    :class:`DaietAck` reports back to the sender. The window also remembers
+    the END packet's sequence number so END handling can be deferred until
+    the stream has no gaps — the property that makes aggregation
+    loss-survivable rather than merely loss-tolerant.
+    """
+
+    __slots__ = ("cumulative", "out_of_order", "end_seq")
+
+    def __init__(self) -> None:
+        self.cumulative = 0
+        self.out_of_order: set[int] = set()
+        self.end_seq: int | None = None
+
+    def observe(self, seq: int) -> bool:
+        """Record one received sequence number; ``False`` for duplicates."""
+        if seq < 0:
+            raise PacketFormatError("sequence numbers must be non-negative")
+        if seq < self.cumulative or seq in self.out_of_order:
+            return False
+        self.out_of_order.add(seq)
+        while self.cumulative in self.out_of_order:
+            self.out_of_order.discard(self.cumulative)
+            self.cumulative += 1
+        return True
+
+    @property
+    def has_gaps(self) -> bool:
+        """True while out-of-order packets are waiting on a retransmission."""
+        return bool(self.out_of_order)
+
+    @property
+    def complete(self) -> bool:
+        """True once the END marker and every packet before it have arrived."""
+        return self.end_seq is not None and self.cumulative > self.end_seq
+
+    def ack_state(self, max_sack: int = DAIET_ACK_MAX_SACK) -> tuple[int, tuple[int, ...]]:
+        """The ``(cumulative, sack)`` pair an ACK for this stream carries.
+
+        The SACK list is truncated to ``max_sack`` entries (lowest first) so
+        the ACK always fits the switch parser's parse-depth budget.
+        """
+        return self.cumulative, tuple(sorted(self.out_of_order)[:max_sack])
+
+
+@dataclass(frozen=True)
+class DaietAck:
+    """Reliability control packet flowing parent-to-child along a tree.
+
+    ACKs are addressed to the device (host or switch) named ``dst``; on-tree
+    switches consume ACKs destined to them and forward any other. ``pull``
+    marks timeout-driven ACKs sent by a receiver that is still missing data —
+    the addressee responds by retransmitting everything unacknowledged, which
+    is how tail losses are recovered without switch-side timers.
+    """
+
+    tree_id: int
+    src: str
+    dst: str
+    cumulative: int = 0
+    sack: tuple[int, ...] = ()
+    pull: bool = False
+
+    def __post_init__(self) -> None:
+        if self.tree_id < 0:
+            raise PacketFormatError("tree_id must be non-negative")
+        if self.cumulative < 0:
+            raise PacketFormatError("cumulative ACK must be non-negative")
+
+    def payload_bytes(self) -> int:
+        """Serialized ACK payload size."""
+        return DAIET_ACK_BASE_BYTES + DAIET_ACK_SACK_BYTES * len(self.sack)
+
+    def wire_bytes(self) -> int:
+        """Full frame size (Ethernet + IPv4 + UDP + ACK payload)."""
+        return (
+            ETHERNET_HEADER_BYTES
+            + IP_HEADER_BYTES
+            + UDP_HEADER_BYTES
+            + self.payload_bytes()
+        )
+
+    def header_stack(self) -> list[tuple[str, Any, int]]:
+        """Headers visible to the switch parser."""
+        return [
+            ("ethernet", {"src": self.src, "dst": self.dst}, ETHERNET_HEADER_BYTES),
+            ("ipv4", {"src": self.src, "dst": self.dst}, IP_HEADER_BYTES),
+            ("udp", {"dport": DAIET_UDP_PORT}, UDP_HEADER_BYTES),
+            (
+                "daiet_ack",
+                {
+                    "tree_id": self.tree_id,
+                    "cumulative": self.cumulative,
+                    "sack": self.sack,
+                    "pull": self.pull,
+                },
+                self.payload_bytes(),
+            ),
+        ]

@@ -156,13 +156,26 @@ class SpilloverBucket:
         """``True`` when the next :meth:`store` would exceed capacity."""
         return len(self._pairs) >= self.capacity
 
-    def store(self, key: Any, value: Any) -> None:
-        """Append a colliding pair to the bucket."""
+    def store(self, key: Any, value: Any, combine: Any = None) -> bool:
+        """Buffer a colliding pair, aggregating repeats of the same key.
+
+        When ``combine`` (a two-argument aggregation function) is given and
+        the bucket already holds an entry for ``key``, the values are merged
+        in place instead of appending a duplicate entry — repeated collisions
+        of one key must not inflate spillover flushes. Returns ``True`` when a
+        new entry was appended and ``False`` when the pair was merged.
+        """
+        if combine is not None:
+            for i, (stored_key, stored_value) in enumerate(self._pairs):
+                if stored_key == key:
+                    self._pairs[i] = (stored_key, combine(stored_value, value))
+                    return False
         if self.is_full:
             raise ResourceExhaustedError(
                 f"spillover bucket overflow (capacity {self.capacity})"
             )
         self._pairs.append((key, value))
+        return True
 
     def flush(self) -> list[tuple[Any, Any]]:
         """Remove and return all buffered pairs in FIFO order."""

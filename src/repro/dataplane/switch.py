@@ -32,6 +32,9 @@ class SwitchCounters:
     bytes_in: int = 0
     bytes_out: int = 0
     packets_generated: int = 0
+    #: Packets whose on-the-wire size could not be determined; every such
+    #: packet is a ledger warning, because the byte counters undercount it.
+    unsized_packets: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """Return the counters as a plain dictionary."""
@@ -42,6 +45,7 @@ class SwitchCounters:
             "bytes_in": self.bytes_in,
             "bytes_out": self.bytes_out,
             "packets_generated": self.packets_generated,
+            "unsized_packets": self.unsized_packets,
         }
 
 
@@ -128,7 +132,7 @@ class ProgrammableSwitch:
                 f"ingress port {ingress_port} out of range for switch {self.name!r}"
             )
         self.counters.packets_in += 1
-        self.counters.bytes_in += _packet_bytes(packet)
+        self.counters.bytes_in += _packet_bytes(packet, self.counters)
 
         parse_result = self.parser.parse(packet)
         ctx = self.pipeline.process(packet, ingress_port)
@@ -155,7 +159,7 @@ class ProgrammableSwitch:
 
         for _, pkt in out:
             self.counters.packets_out += 1
-            self.counters.bytes_out += _packet_bytes(pkt)
+            self.counters.bytes_out += _packet_bytes(pkt, self.counters)
         return out
 
     def parse_only(self, packet: Any) -> ParseResult:
@@ -163,12 +167,26 @@ class ProgrammableSwitch:
         return self.parser.parse(packet)
 
 
-def _packet_bytes(packet: Any) -> int:
-    """Best-effort serialized size of a packet object."""
+def _packet_bytes(packet: Any, counters: SwitchCounters | None = None) -> int:
+    """Best-effort serialized size of a packet object.
+
+    Prefers the packet's own ``wire_bytes()``/``length``; packets exposing
+    only ``encode()`` are sized by serializing them. A packet with none of
+    these would silently zero the ``bytes_in``/``bytes_out`` ledgers, so it is
+    recorded as an ``unsized_packets`` warning instead of being ignored.
+    """
     size_fn = getattr(packet, "wire_bytes", None)
     if callable(size_fn):
         return int(size_fn())
     length = getattr(packet, "length", None)
     if isinstance(length, int):
         return length
+    encode = getattr(packet, "encode", None)
+    if callable(encode):
+        try:
+            return len(encode())
+        except Exception:  # noqa: BLE001 - sizing must never kill the pipeline
+            pass
+    if counters is not None:
+        counters.unsized_packets += 1
     return 0

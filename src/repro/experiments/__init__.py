@@ -22,6 +22,12 @@ from repro.experiments.figure3_wordcount import (
     Figure3Settings,
     run_figure3,
 )
+from repro.experiments.figure_loss_sweep import (
+    LossSweepResult,
+    LossSweepRun,
+    LossSweepSettings,
+    run_loss_sweep,
+)
 
 __all__ = [
     "Figure1GraphResult",
@@ -35,4 +41,8 @@ __all__ = [
     "Figure3Result",
     "Figure3Settings",
     "run_figure3",
+    "LossSweepResult",
+    "LossSweepRun",
+    "LossSweepSettings",
+    "run_loss_sweep",
 ]

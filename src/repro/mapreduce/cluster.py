@@ -12,7 +12,8 @@ from dataclasses import dataclass
 
 from repro.core.errors import JobError
 from repro.mapreduce.job import TaskPlacement
-from repro.netsim.simulator import NetworkSimulator
+from repro.netsim.devices import Host
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
 from repro.netsim.topology import Topology, leaf_spine, single_rack
 
 
@@ -38,6 +39,8 @@ def build_cluster(
     fabric: str = "single_rack",
     spines: int = 2,
     workers_per_leaf: int = 4,
+    loss_rate: float = 0.0,
+    loss_seed: int = 0,
 ) -> Cluster:
     """Build a simulated cluster.
 
@@ -50,6 +53,12 @@ def build_cluster(
         ``"leaf_spine"`` (used by the tree-depth ablation).
     spines, workers_per_leaf:
         Leaf-spine dimensioning; ignored for the single rack.
+    loss_rate:
+        Per-direction drop probability applied to every host uplink (the
+        lossy-fabric scenario; requires ``DaietConfig(reliability=True)``
+        for exact results).
+    loss_seed:
+        Seed of the simulator's loss random stream.
     """
     if num_workers <= 0:
         raise JobError("num_workers must be positive")
@@ -74,8 +83,14 @@ def build_cluster(
         topology.connect("master", "leaf0")
     else:
         raise JobError(f"unknown fabric {fabric!r}")
+    if loss_rate:
+        for link in topology.links:
+            if isinstance(topology.get(link.a.device), Host) or isinstance(
+                topology.get(link.b.device), Host
+            ):
+                link.loss_rate = loss_rate
     topology.validate()
-    simulator = NetworkSimulator(topology)
+    simulator = NetworkSimulator(topology, SimulatorConfig(loss_seed=loss_seed))
     return Cluster(
         topology=topology,
         simulator=simulator,

@@ -22,7 +22,8 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.config import DaietConfig
 from repro.core.controller import DaietController, InstalledJob
@@ -32,6 +33,9 @@ from repro.mapreduce.cluster import Cluster
 from repro.mapreduce.job import JobSpec, TaskPlacement
 from repro.mapreduce.mapper import MapOutput
 from repro.mapreduce.reducer import ReduceTask
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <-> transport)
+    from repro.transport.reliability import HostReliabilityAgent
 
 
 @dataclass
@@ -162,6 +166,17 @@ class DaietShuffle(ShuffleTransport):
         self.controller: DaietController | None = None
         self.job: InstalledJob | None = None
         self._buffers: dict[int, _DaietReducerBuffer] = {}
+        self._agents: dict[str, "HostReliabilityAgent"] = {}
+
+    def _agent(self, host: str) -> "HostReliabilityAgent":
+        """Reliability endpoint of one worker host (created on first use)."""
+        from repro.transport.reliability import HostReliabilityAgent
+
+        if host not in self._agents:
+            self._agents[host] = HostReliabilityAgent.from_config(
+                self.cluster.simulator, host, self.config
+            )
+        return self._agents[host]
 
     def _prepare(self) -> None:
         self.controller = DaietController(self.cluster.topology, self.config)
@@ -179,9 +194,16 @@ class DaietShuffle(ShuffleTransport):
                 expected_ends=tree.children_count(host),
             )
             self._buffers[reducer_id] = buffer
-            self.cluster.simulator.host(host).set_receiver(
-                self._make_receiver(buffer)
-            )
+            if self.config.reliability:
+                self._agent(host).attach_tree(
+                    tree.tree_id,
+                    children=tree.node(host).children,
+                    inner=self._make_receiver(buffer),
+                )
+            else:
+                self.cluster.simulator.host(host).set_receiver(
+                    self._make_receiver(buffer)
+                )
 
     @staticmethod
     def _make_receiver(buffer: _DaietReducerBuffer):
@@ -209,14 +231,26 @@ class DaietShuffle(ShuffleTransport):
                     self.accounting.local_pairs += len(pairs)
                     continue
                 self.accounting.network_pairs += len(pairs)
-                for packet in packetize_pairs(
+                packets = packetize_pairs(
                     pairs,
                     tree_id=tree.tree_id,
                     src=mapper_host,
                     dst=reducer_host,
                     config=self.config,
                     include_end=True,
-                ):
+                )
+                if self.config.reliability:
+                    channel = self._agent(mapper_host).sender(tree.tree_id)
+                    sequenced = [
+                        replace(packet, seq=channel.take_seq()) for packet in packets
+                    ]
+                    channel.send(sequenced)
+                    self._agent(reducer_host).arm(tree.tree_id)
+                    for packet in sequenced:
+                        self.accounting.packets_sent += 1
+                        self.accounting.payload_bytes_sent += packet.payload_bytes()
+                    continue
+                for packet in packets:
                     self.cluster.simulator.send(mapper_host, packet)
                     self.accounting.packets_sent += 1
                     self.accounting.payload_bytes_sent += packet.payload_bytes()

@@ -15,7 +15,7 @@ from repro.netsim.devices import (
     SwitchDevice,
     packet_wire_bytes,
 )
-from repro.netsim.events import Event, EventScheduler
+from repro.netsim.events import Event, EventScheduler, Timer
 from repro.netsim.links import (
     DEFAULT_BANDWIDTH_BPS,
     DEFAULT_PROPAGATION_S,
@@ -45,6 +45,7 @@ __all__ = [
     "packet_wire_bytes",
     "Event",
     "EventScheduler",
+    "Timer",
     "DEFAULT_BANDWIDTH_BPS",
     "DEFAULT_PROPAGATION_S",
     "DirectionCounters",

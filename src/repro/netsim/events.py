@@ -128,3 +128,38 @@ class EventScheduler:
         self._queue.clear()
         self.now = 0.0
         self.events_executed = 0
+
+
+class Timer:
+    """A restartable one-shot timer bound to an :class:`EventScheduler`.
+
+    The reliability layer uses these as retransmission and delayed-ACK
+    timers: ``start`` (re)arms the timer, ``cancel`` disarms it, and the
+    callback runs at most once per arming. Restarting an armed timer cancels
+    the previous deadline, so only the latest one fires.
+    """
+
+    def __init__(self, scheduler: EventScheduler, callback: Callable[[], None]) -> None:
+        self._scheduler = scheduler
+        self._callback = callback
+        self._event: Event | None = None
+
+    @property
+    def active(self) -> bool:
+        """True while an armed deadline is pending."""
+        return self._event is not None and not self._event.cancelled
+
+    def start(self, delay: float) -> None:
+        """Arm (or re-arm) the timer ``delay`` seconds from now."""
+        self.cancel()
+        self._event = self._scheduler.schedule(delay, self._fire)
+
+    def cancel(self) -> None:
+        """Disarm the timer; a cancelled deadline never fires."""
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _fire(self) -> None:
+        self._event = None
+        self._callback()

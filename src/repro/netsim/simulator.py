@@ -15,7 +15,7 @@ from typing import Any
 
 from repro.core.errors import SimulationError, TopologyError
 from repro.netsim.devices import Device, Host, SwitchDevice, packet_wire_bytes
-from repro.netsim.events import EventScheduler
+from repro.netsim.events import Event, EventScheduler, Timer
 from repro.netsim.links import Link
 from repro.netsim.routing import RoutingState, compute_routes, install_forwarding_rules
 from repro.netsim.stats import TrafficStats
@@ -96,18 +96,20 @@ class NetworkSimulator:
         nbytes = packet_wire_bytes(packet)
         link.record_transmission(from_device, nbytes)
         self.stats.record_link(link.name, nbytes)
-        if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
-            # The packet is lost in flight: it occupied the sender's NIC and
-            # the link but never reaches the other end.
-            self.stats.record_loss(link.name)
-            return
-        other = link.other_end(from_device)
         # Serialize transmissions per link direction (FIFO): a packet starts
-        # transmitting only once the previous one has left the NIC.
+        # transmitting only once the previous one has left the NIC. The busy
+        # time is charged before the loss draw: a packet dropped in flight
+        # still occupied the sender's NIC and the link for its serialization
+        # time, so losses contribute to congestion like any other packet.
         busy_key = (link.name, from_device)
         start = max(self.scheduler.now, self._link_busy_until.get(busy_key, 0.0))
         serialization = nbytes / link.bandwidth_bps
         self._link_busy_until[busy_key] = start + serialization
+        if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
+            # The packet is lost in flight: it never reaches the other end.
+            self.stats.record_loss(link.name)
+            return
+        other = link.other_end(from_device)
         arrival = start + serialization + link.propagation_s
         self.scheduler.schedule_at(arrival, self._deliver, other.device, other.port, packet)
 
@@ -128,6 +130,17 @@ class NetworkSimulator:
     def run(self, until: float | None = None) -> int:
         """Run the simulation until the event queue drains (or ``until``)."""
         return self.scheduler.run(until=until, max_events=self.config.max_events)
+
+    # ------------------------------------------------------------------ #
+    # Timer hooks (used by the end-host reliability layer)
+    # ------------------------------------------------------------------ #
+    def schedule_timer(self, delay: float, callback: Any, *args: Any) -> Event:
+        """Schedule an application callback (e.g. a retransmit check)."""
+        return self.scheduler.schedule(delay, callback, *args)
+
+    def timer(self, callback: Any) -> Timer:
+        """A restartable one-shot :class:`Timer` on this simulation's clock."""
+        return Timer(self.scheduler, callback)
 
     @property
     def now(self) -> float:

@@ -1,17 +1,33 @@
 """Transport models (UDP datagrams, TCP-like streams) over the simulator."""
 
 from repro.transport.packets import MessagePayload, TcpSegment, UdpDatagram
+from repro.transport.reliability import (
+    HostReliabilityAgent,
+    ReliabilityStats,
+    ReliableSenderChannel,
+)
 from repro.transport.tcp import TcpStats, TcpTransport, segment_message
-from repro.transport.udp import DEFAULT_UDP_PAYLOAD_LIMIT, UdpStats, UdpTransport
+from repro.transport.udp import (
+    DEFAULT_UDP_PAYLOAD_LIMIT,
+    ReliableUdpStats,
+    ReliableUdpTransport,
+    UdpStats,
+    UdpTransport,
+)
 
 __all__ = [
     "MessagePayload",
     "TcpSegment",
     "UdpDatagram",
+    "HostReliabilityAgent",
+    "ReliabilityStats",
+    "ReliableSenderChannel",
     "TcpStats",
     "TcpTransport",
     "segment_message",
     "DEFAULT_UDP_PAYLOAD_LIMIT",
+    "ReliableUdpStats",
+    "ReliableUdpTransport",
     "UdpStats",
     "UdpTransport",
 ]

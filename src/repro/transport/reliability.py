@@ -1,0 +1,390 @@
+"""End-host reliability for DAIET aggregation traffic.
+
+The paper ships map output over raw UDP and leans on "lightweight reliability
+mechanisms at the end-hosts" to survive loss; this module supplies them for
+the reproduction. The protocol is hop-scoped along the aggregation tree,
+because in-network aggregation *consumes* packets — a mapper's packet cannot
+be acknowledged end-to-end by the reducer when a switch has already folded it
+into a register:
+
+* every child-to-parent hop (mapper -> first switch, switch -> switch,
+  switch -> reducer) numbers its DATA/END packets with a per-(tree, sender)
+  sequence number (:class:`~repro.core.packet.DaietPacket.seq`);
+* the parent deduplicates via a :class:`~repro.core.packet.SeenWindow` and
+  answers with cumulative+selective :class:`~repro.core.packet.DaietAck`
+  packets (every ``ack_window`` packets, plus immediately on duplicates and
+  END markers; gaps ride in those ACKs' SACK fields);
+* host senders keep unacknowledged packets in a retransmit buffer driven by
+  a timeout :class:`~repro.netsim.events.Timer` with exponential backoff;
+* switches have no timers, so their buffered flush packets are retransmitted
+  reactively — the *receiving host* runs a pull timer that re-ACKs (with
+  ``pull=True``) while its streams are incomplete, and the switch resends
+  whatever is still outstanding (see
+  :meth:`~repro.core.aggregation.DaietAggregationEngine.handle_ack`).
+
+END markers carry the final sequence number of their stream, so a parent
+never counts a child as finished while any of its DATA packets are missing —
+the property that turns "mostly right under loss" into bit-identical results.
+
+This mirrors the selective-integrity idea of SAP (Ransford & Ceze): only the
+aggregation traffic that needs protection pays for it, and only in proportion
+to the loss actually experienced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable
+
+from repro.core.errors import TransportError
+from repro.core.packet import DaietAck, DaietPacket, DaietPacketType, SeenWindow
+
+#: Backoff cap: a retransmission timeout never grows beyond this multiple.
+MAX_BACKOFF_FACTOR = 8
+
+
+@dataclass
+class ReliabilityStats:
+    """Accounting for one host's reliability agent (senders + receivers)."""
+
+    packets_sent: int = 0
+    retransmissions: int = 0
+    timeouts: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    duplicates_received: int = 0
+    pulls_sent: int = 0
+    wire_bytes_sent: int = 0
+    wire_bytes_retransmitted: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        """The counters as a plain dictionary."""
+        return dict(self.__dict__)
+
+
+class ReliableSenderChannel:
+    """Sender side of one (host, tree) stream: numbering, buffering, timers.
+
+    The channel assigns consecutive sequence numbers, keeps every sent packet
+    until it is acknowledged, retransmits on timeout (all outstanding
+    packets, go-back-N style, with exponential backoff) and gap-fills
+    immediately when a selective ACK shows the receiver overtook a hole.
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        host: str,
+        tree_id: int,
+        *,
+        retransmit_timeout: float,
+        max_retransmits: int,
+        stats: ReliabilityStats,
+    ) -> None:
+        if retransmit_timeout <= 0:
+            raise TransportError("retransmit_timeout must be positive")
+        self.simulator = simulator
+        self.host = host
+        self.tree_id = tree_id
+        self.retransmit_timeout = retransmit_timeout
+        self.max_retransmits = max_retransmits
+        self.stats = stats
+        self._next_seq = 0
+        self._unacked: dict[int, DaietPacket] = {}
+        self._retransmitted: set[int] = set()
+        self._consecutive_timeouts = 0
+        self._timer = simulator.timer(self._on_timeout)
+
+    @property
+    def done(self) -> bool:
+        """True once every sent packet has been acknowledged."""
+        return not self._unacked
+
+    @property
+    def outstanding(self) -> int:
+        """Number of unacknowledged packets."""
+        return len(self._unacked)
+
+    def take_seq(self) -> int:
+        """Reserve the next sequence number."""
+        seq = self._next_seq
+        self._next_seq += 1
+        return seq
+
+    def send(self, packets: Iterable[DaietPacket]) -> int:
+        """Inject sequenced packets into the network and buffer them."""
+        count = 0
+        for packet in packets:
+            if packet.seq is None:
+                raise TransportError(
+                    "reliable channels require packets with sequence numbers"
+                )
+            self._unacked[packet.seq] = packet
+            self.simulator.send(self.host, packet)
+            self.stats.packets_sent += 1
+            self.stats.wire_bytes_sent += packet.wire_bytes()
+            count += 1
+        if self._unacked and not self._timer.active:
+            self._timer.start(self.retransmit_timeout)
+        return count
+
+    def on_ack(self, ack: DaietAck) -> None:
+        """Drop acknowledged packets; gap-fill when the ACK proves a hole."""
+        self.stats.acks_received += 1
+        sacked = set(ack.sack)
+        acked = [s for s in self._unacked if s < ack.cumulative or s in sacked]
+        for seq in acked:
+            del self._unacked[seq]
+        if acked:
+            self._consecutive_timeouts = 0
+            # Progress: allow another retransmission round if later ACKs
+            # still report holes.
+            self._retransmitted.clear()
+        if sacked:
+            # Gap-fill at most once per ACK progress: duplicate ACKs carrying
+            # the same holes must not trigger a retransmission storm.
+            horizon = max(sacked)
+            for seq in sorted(
+                s for s in self._unacked if s < horizon and s not in self._retransmitted
+            ):
+                self._retransmitted.add(seq)
+                self._retransmit(seq)
+        if self._unacked:
+            self._timer.start(self.retransmit_timeout)
+        else:
+            self._timer.cancel()
+
+    def _retransmit(self, seq: int) -> None:
+        packet = self._unacked[seq]
+        self.simulator.send(self.host, packet)
+        self.stats.retransmissions += 1
+        self.stats.wire_bytes_sent += packet.wire_bytes()
+        self.stats.wire_bytes_retransmitted += packet.wire_bytes()
+
+    def _on_timeout(self) -> None:
+        if not self._unacked:
+            return
+        self._consecutive_timeouts += 1
+        self.stats.timeouts += 1
+        if self._consecutive_timeouts > self.max_retransmits:
+            raise TransportError(
+                f"host {self.host!r} gave up on tree {self.tree_id} after "
+                f"{self.max_retransmits} consecutive retransmission timeouts "
+                f"({len(self._unacked)} packets still unacknowledged)"
+            )
+        for seq in sorted(self._unacked):
+            self._retransmit(seq)
+        backoff = min(2 ** self._consecutive_timeouts, MAX_BACKOFF_FACTOR)
+        self._timer.start(self.retransmit_timeout * backoff)
+
+
+@dataclass
+class _TreeReceiveState:
+    """Receiver side of one tree at a host: dedup windows plus the pull timer."""
+
+    tree_id: int
+    children: tuple[str, ...]
+    inner: Callable[[Any], None]
+    windows: dict[str, SeenWindow] = field(default_factory=dict)
+    since_ack: dict[str, int] = field(default_factory=dict)
+    ended: set[str] = field(default_factory=set)
+    pending_end: dict[str, DaietPacket] = field(default_factory=dict)
+    pull_timer: Any = None
+    pulls_without_progress: int = 0
+
+    @property
+    def done(self) -> bool:
+        """True once every child's stream completed (END seen, no gaps)."""
+        return set(self.children) <= self.ended
+
+
+class HostReliabilityAgent:
+    """Per-host reliability endpoint multiplexing every tree the host touches.
+
+    A host may simultaneously be a mapper (sender channels) and a reducer
+    (receive states) for different trees; the agent owns the host's receiver
+    callback and dispatches ACKs to sender channels, sequenced DAIET packets
+    to the dedup/ACK path, and everything else to the per-tree application
+    receiver (or the optional fallback).
+    """
+
+    def __init__(
+        self,
+        simulator: Any,
+        host: str,
+        *,
+        retransmit_timeout: float,
+        ack_window: int,
+        max_retransmits: int,
+    ) -> None:
+        if ack_window <= 0:
+            raise TransportError("ack_window must be positive")
+        self.simulator = simulator
+        self.host = host
+        self.retransmit_timeout = retransmit_timeout
+        self.ack_window = ack_window
+        self.max_retransmits = max_retransmits
+        self.stats = ReliabilityStats()
+        self._senders: dict[int, ReliableSenderChannel] = {}
+        self._recv: dict[int, _TreeReceiveState] = {}
+        self._fallback: Callable[[Any], None] | None = None
+        simulator.host(host).set_receiver(self.receive)
+
+    @classmethod
+    def from_config(cls, simulator: Any, host: str, config: Any) -> "HostReliabilityAgent":
+        """Build an agent from a :class:`~repro.core.config.DaietConfig`.
+
+        Keeps the knob plumbing in one place for every caller wiring
+        reliability (:class:`~repro.core.daiet.DaietSystem`, the DAIET
+        shuffle, ad-hoc experiment harnesses).
+        """
+        return cls(
+            simulator,
+            host,
+            retransmit_timeout=config.retransmit_timeout,
+            ack_window=config.ack_window,
+            max_retransmits=config.max_retransmits,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Wiring
+    # ------------------------------------------------------------------ #
+    def sender(self, tree_id: int) -> ReliableSenderChannel:
+        """The (created-on-demand) sender channel for one tree."""
+        if tree_id not in self._senders:
+            self._senders[tree_id] = ReliableSenderChannel(
+                self.simulator,
+                self.host,
+                tree_id,
+                retransmit_timeout=self.retransmit_timeout,
+                max_retransmits=self.max_retransmits,
+                stats=self.stats,
+            )
+        return self._senders[tree_id]
+
+    def attach_tree(
+        self,
+        tree_id: int,
+        children: Iterable[str],
+        inner: Callable[[Any], None],
+    ) -> None:
+        """Install the application receiver for one tree rooted at this host."""
+        state = _TreeReceiveState(
+            tree_id=tree_id,
+            children=tuple(children),
+            inner=inner,
+        )
+        state.pull_timer = self.simulator.timer(lambda: self._on_pull(tree_id))
+        self._recv[tree_id] = state
+
+    def set_fallback(self, receiver: Callable[[Any], None] | None) -> None:
+        """Receiver for packets no reliability state claims (e.g. raw UDP)."""
+        self._fallback = receiver
+
+    def arm(self, tree_id: int) -> None:
+        """Start the pull timer for a tree expecting traffic.
+
+        Called when a round begins; without it a receiver whose *entire*
+        input was lost would never notice. Idempotent while already armed.
+        """
+        state = self._recv.get(tree_id)
+        if state is None or state.done or state.pull_timer.active:
+            return
+        state.pull_timer.start(self._pull_interval())
+
+    def sender_channels(self) -> dict[int, ReliableSenderChannel]:
+        """The sender channels keyed by tree id (diagnostics)."""
+        return dict(self._senders)
+
+    # ------------------------------------------------------------------ #
+    # Receive path
+    # ------------------------------------------------------------------ #
+    def receive(self, packet: Any) -> None:
+        """Host receiver callback installed on the simulated NIC."""
+        if isinstance(packet, DaietAck):
+            channel = self._senders.get(packet.tree_id)
+            if channel is not None and packet.dst == self.host:
+                channel.on_ack(packet)
+            return
+        if isinstance(packet, DaietPacket):
+            state = self._recv.get(packet.tree_id)
+            if state is not None:
+                if packet.seq is None:
+                    # Legacy sender without reliability: deliver as-is.
+                    state.inner(packet)
+                else:
+                    self._receive_sequenced(state, packet)
+                return
+        if self._fallback is not None:
+            self._fallback(packet)
+
+    def _receive_sequenced(self, state: _TreeReceiveState, packet: DaietPacket) -> None:
+        src = packet.src
+        window = state.windows.setdefault(src, SeenWindow())
+        if not window.observe(packet.seq):
+            self.stats.duplicates_received += 1
+            self._send_ack(state, src)
+            return
+        state.pulls_without_progress = 0
+        if packet.packet_type is DaietPacketType.END:
+            window.end_seq = packet.seq
+            state.pending_end[src] = packet
+        else:
+            state.inner(packet)
+            state.since_ack[src] = state.since_ack.get(src, 0) + 1
+        if window.complete and src not in state.ended:
+            # The child's stream is whole: deliver its END exactly once.
+            state.ended.add(src)
+            window.end_seq = None
+            end = state.pending_end.pop(src, None)
+            if end is not None:
+                state.inner(end)
+            self._send_ack(state, src)
+        elif (
+            packet.packet_type is DaietPacketType.END
+            or state.since_ack.get(src, 0) >= self.ack_window
+        ):
+            self._send_ack(state, src)
+        if state.done:
+            state.pull_timer.cancel()
+        elif not state.pull_timer.active:
+            # Traffic is flowing: keep a pull pending so a lost tail (or a
+            # lost switch flush) is eventually re-requested.
+            state.pull_timer.start(self._pull_interval())
+
+    # ------------------------------------------------------------------ #
+    # ACK/pull generation
+    # ------------------------------------------------------------------ #
+    def _pull_interval(self) -> float:
+        return 2 * self.retransmit_timeout
+
+    def _send_ack(self, state: _TreeReceiveState, src: str, pull: bool = False) -> None:
+        window = state.windows.setdefault(src, SeenWindow())
+        cumulative, sack = window.ack_state()
+        state.since_ack[src] = 0
+        ack = DaietAck(
+            tree_id=state.tree_id,
+            src=self.host,
+            dst=src,
+            cumulative=cumulative,
+            sack=sack,
+            pull=pull,
+        )
+        self.simulator.send(self.host, ack)
+        self.stats.acks_sent += 1
+        if pull:
+            self.stats.pulls_sent += 1
+
+    def _on_pull(self, tree_id: int) -> None:
+        state = self._recv.get(tree_id)
+        if state is None or state.done:
+            return
+        state.pulls_without_progress += 1
+        if state.pulls_without_progress > self.max_retransmits:
+            # Give up pulling so the simulation terminates; the caller's
+            # correctness check reports the unrecovered loss.
+            return
+        for child in state.children:
+            if child not in state.ended:
+                self._send_ack(state, child, pull=True)
+        state.pull_timer.start(self._pull_interval())

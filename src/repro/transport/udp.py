@@ -9,10 +9,12 @@ baselines and control traffic; the DAIET-specific packet layout lives in
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.errors import TransportError
+from repro.core.packet import SeenWindow
+from repro.netsim.events import Timer
 from repro.netsim.simulator import NetworkSimulator
 from repro.transport.packets import MessagePayload, UdpDatagram
 
@@ -97,3 +99,238 @@ class UdpTransport:
         self.simulator.send(src, packet)
         self.stats.datagrams_sent += 1
         self.stats.wire_bytes_sent += packet.wire_bytes()
+
+
+# ---------------------------------------------------------------------- #
+# Reliable datagram layer
+# ---------------------------------------------------------------------- #
+#: Per-datagram overhead of the reliability framing (32-bit sequence number).
+RELIABLE_UDP_SEQ_BYTES = 4
+
+#: Payload size of a reliability ACK datagram (cumulative + SACK summary).
+RELIABLE_UDP_ACK_BYTES = 16
+
+#: Message kinds used by the reliable framing.
+_REL_DATA = "udp-rel-data"
+_REL_ACK = "udp-rel-ack"
+
+
+@dataclass
+class ReliableUdpStats(UdpStats):
+    """Extends the sender accounting with the reliability layer's counters."""
+
+    retransmissions: int = 0
+    timeouts: int = 0
+    acks_sent: int = 0
+    acks_received: int = 0
+    duplicates_received: int = 0
+
+
+@dataclass
+class _UdpFlow:
+    """Sender-side state of one reliable (src, dst, port) flow."""
+
+    src: str
+    dst: str
+    port: int
+    next_seq: int = 0
+    unacked: dict[int, UdpDatagram] = field(default_factory=dict)
+    retransmitted: set[int] = field(default_factory=set)
+    consecutive_timeouts: int = 0
+    timer: Timer | None = None
+
+
+class ReliableUdpTransport(UdpTransport):
+    """Cumulative-ACK + timeout-retransmission layer over UDP datagrams.
+
+    The same end-host mechanism the DAIET reliability subsystem uses for
+    aggregation traffic, applied to plain datagrams: senders number each
+    datagram per (src, dst, port) flow and retransmit on timeout; receivers
+    deduplicate with a :class:`~repro.core.packet.SeenWindow` and acknowledge
+    every ``ack_window``-th datagram (plus immediately on gaps/duplicates).
+    Both endpoints must use this transport; ACKs travel on the same port.
+    """
+
+    def __init__(
+        self,
+        simulator: NetworkSimulator,
+        payload_limit: int = DEFAULT_UDP_PAYLOAD_LIMIT,
+        retransmit_timeout: float = 1e-4,
+        ack_window: int = 8,
+        max_retransmits: int = 30,
+    ) -> None:
+        super().__init__(simulator, payload_limit)
+        if retransmit_timeout <= 0:
+            raise TransportError("retransmit_timeout must be positive")
+        if ack_window <= 0:
+            raise TransportError("ack_window must be positive")
+        self.retransmit_timeout = retransmit_timeout
+        self.ack_window = ack_window
+        self.max_retransmits = max_retransmits
+        self.stats = ReliableUdpStats()
+        self._flows: dict[tuple[str, str, int], _UdpFlow] = {}
+        self._windows: dict[tuple[str, str, int], SeenWindow] = {}
+        self._since_ack: dict[tuple[str, str, int], int] = {}
+        self._delayed_acks: dict[tuple[str, str, int], Timer] = {}
+        self._apps: dict[tuple[str, int], Callable[[str, MessagePayload], None]] = {}
+
+    # ------------------------------------------------------------------ #
+    # Receiver side
+    # ------------------------------------------------------------------ #
+    def listen_reliable(
+        self, host: str, port: int, callback: Callable[[str, MessagePayload], None]
+    ) -> None:
+        """Register an application callback behind the reliability framing."""
+        self._apps[(host, port)] = callback
+        self._ensure_dispatcher(host, port)
+
+    def _ensure_dispatcher(self, host: str, port: int) -> None:
+        if (host, port) not in self._listeners:
+            self.listen(host, port, self._make_dispatcher(host, port))
+
+    def _make_dispatcher(self, host: str, port: int):
+        def dispatch(src: str, payload: MessagePayload) -> None:
+            if payload.kind == _REL_ACK:
+                self._handle_ack(self._flows.get((host, src, port)), payload)
+            elif payload.kind == _REL_DATA:
+                self._handle_data(host, port, src, payload)
+            else:
+                app = self._apps.get((host, port))
+                if app is not None:
+                    app(src, payload)
+
+        return dispatch
+
+    def _handle_data(self, host: str, port: int, src: str, payload: MessagePayload) -> None:
+        seq = payload.meta["seq"]
+        key = (host, src, port)
+        window = self._windows.setdefault(key, SeenWindow())
+        fresh = window.observe(seq)
+        if not fresh:
+            self.stats.duplicates_received += 1
+        else:
+            app = self._apps.get((host, port))
+            if app is not None:
+                inner = payload.data
+                if not isinstance(inner, MessagePayload):
+                    inner = MessagePayload(kind="raw", data=inner)
+                app(src, inner)
+        self._since_ack[key] = self._since_ack.get(key, 0) + 1
+        if not fresh or self._since_ack[key] >= self.ack_window:
+            self._send_ack(host, src, port, window)
+        else:
+            # Delayed ACK for the stream tail: datagrams short of a full
+            # ack_window would otherwise only be recovered by the sender's
+            # (much longer) retransmission timeout.
+            if key not in self._delayed_acks:
+                self._delayed_acks[key] = Timer(
+                    self.simulator.scheduler,
+                    lambda: self._flush_delayed_ack(host, src, port),
+                )
+            if not self._delayed_acks[key].active:
+                self._delayed_acks[key].start(self.retransmit_timeout / 2)
+
+    def _flush_delayed_ack(self, host: str, peer: str, port: int) -> None:
+        key = (host, peer, port)
+        if self._since_ack.get(key, 0) > 0:
+            self._send_ack(host, peer, port, self._windows[key])
+
+    def _send_ack(self, host: str, peer: str, port: int, window: SeenWindow) -> None:
+        cumulative, sack = window.ack_state()
+        self._since_ack[(host, peer, port)] = 0
+        timer = self._delayed_acks.get((host, peer, port))
+        if timer is not None:
+            timer.cancel()
+        ack = MessagePayload(kind=_REL_ACK, meta={"cumulative": cumulative, "sack": sack})
+        self.send_datagram(
+            host, peer, ack, RELIABLE_UDP_ACK_BYTES, sport=port, dport=port
+        )
+        self.stats.acks_sent += 1
+
+    # ------------------------------------------------------------------ #
+    # Sender side
+    # ------------------------------------------------------------------ #
+    def send_reliable(
+        self,
+        src: str,
+        dst: str,
+        payload: MessagePayload | None,
+        payload_bytes: int,
+        port: int = 0,
+    ) -> UdpDatagram:
+        """Send one datagram with retransmission until acknowledged."""
+        self._ensure_dispatcher(src, port)
+        key = (src, dst, port)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = _UdpFlow(src=src, dst=dst, port=port)
+            flow.timer = Timer(
+                self.simulator.scheduler, lambda: self._on_timeout(flow)
+            )
+            self._flows[key] = flow
+        seq = flow.next_seq
+        flow.next_seq += 1
+        wrapped = MessagePayload(kind=_REL_DATA, data=payload, meta={"seq": seq})
+        datagram = self.send_datagram(
+            src,
+            dst,
+            wrapped,
+            payload_bytes + RELIABLE_UDP_SEQ_BYTES,
+            sport=port,
+            dport=port,
+        )
+        flow.unacked[seq] = datagram
+        if not flow.timer.active:
+            flow.timer.start(self.retransmit_timeout)
+        return datagram
+
+    def flow_done(self, src: str, dst: str, port: int = 0) -> bool:
+        """True when the flow has no unacknowledged datagrams."""
+        flow = self._flows.get((src, dst, port))
+        return flow is None or not flow.unacked
+
+    def _handle_ack(self, flow: _UdpFlow | None, payload: MessagePayload) -> None:
+        if flow is None:
+            return
+        self.stats.acks_received += 1
+        cumulative = payload.meta["cumulative"]
+        sacked = set(payload.meta.get("sack", ()))
+        acked = [s for s in flow.unacked if s < cumulative or s in sacked]
+        for seq in acked:
+            del flow.unacked[seq]
+        if acked:
+            flow.consecutive_timeouts = 0
+            flow.retransmitted.clear()
+        if sacked:
+            # Gap-fill at most once per ACK progress (no duplicate-ACK storm).
+            horizon = max(sacked)
+            for seq in sorted(
+                s for s in flow.unacked if s < horizon and s not in flow.retransmitted
+            ):
+                flow.retransmitted.add(seq)
+                self._retransmit(flow, seq)
+        if flow.unacked:
+            flow.timer.start(self.retransmit_timeout)
+        else:
+            flow.timer.cancel()
+
+    def _retransmit(self, flow: _UdpFlow, seq: int) -> None:
+        datagram = flow.unacked[seq]
+        self.simulator.send(flow.src, datagram)
+        self.stats.retransmissions += 1
+        self.stats.wire_bytes_sent += datagram.wire_bytes()
+
+    def _on_timeout(self, flow: _UdpFlow) -> None:
+        if not flow.unacked:
+            return
+        flow.consecutive_timeouts += 1
+        self.stats.timeouts += 1
+        if flow.consecutive_timeouts > self.max_retransmits:
+            raise TransportError(
+                f"reliable UDP flow {flow.src!r}->{flow.dst!r} gave up after "
+                f"{self.max_retransmits} consecutive timeouts"
+            )
+        for seq in sorted(flow.unacked):
+            self._retransmit(flow, seq)
+        backoff = min(2**flow.consecutive_timeouts, 8)
+        flow.timer.start(self.retransmit_timeout * backoff)

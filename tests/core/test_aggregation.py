@@ -189,6 +189,25 @@ class TestSpillover:
         first_data = out[0]
         assert first_data.pairs[0][0] == keys[1], "spillover pairs are sent first"
 
+    def test_repeated_collisions_of_same_key_merge_in_spillover(self):
+        slots = 8
+        keys = self.find_colliding_keys(slots, 2)
+        engine, config = make_engine(
+            slots=slots, num_children=1, pairs_per_packet=10, spillover_capacity=2
+        )
+        # keys[0] takes the register slot; keys[1] collides three times and
+        # must occupy ONE spillover entry holding the aggregated value, not
+        # three entries (which would trigger a premature flush).
+        out = engine.process_packet(
+            data_packet([(keys[0], 1), (keys[1], 2), (keys[1], 3), (keys[1], 4)], config)
+        )
+        state = engine.tree(1)
+        assert out == [], "the 2-entry bucket never filled"
+        assert len(state.spillover) == 1
+        assert state.spillover.peek() == ((keys[1], 9),)
+        assert state.counters.spillover_merges == 2
+        assert state.counters.spillover_flushes == 0
+
     def test_no_pairs_are_lost_under_collisions(self):
         slots = 4  # tiny register array: most keys collide
         engine, config = make_engine(slots=slots, num_children=1, pairs_per_packet=10)

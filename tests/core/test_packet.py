@@ -8,8 +8,10 @@ from hypothesis import given, settings, strategies as st
 from repro.core.config import DaietConfig
 from repro.core.errors import PacketFormatError
 from repro.core.packet import (
+    DaietAck,
     DaietPacket,
     DaietPacketType,
+    SeenWindow,
     end_packet,
     packetize_pairs,
 )
@@ -20,6 +22,17 @@ key_strategy = st.text(
 )
 value_strategy = st.integers(min_value=-(2**31), max_value=2**31 - 1)
 pairs_strategy = st.lists(st.tuples(key_strategy, value_strategy), max_size=10)
+
+#: Binary-ish keys: arbitrary codepoints (NUL included) whose UTF-8 encoding
+#: still fits the fixed 16-byte key field.
+binary_key_strategy = st.text(
+    alphabet=st.characters(min_codepoint=0, max_codepoint=0x2FF),
+    min_size=1,
+    max_size=16,
+).filter(lambda key: 1 <= len(key.encode()) <= 16)
+binary_pairs_strategy = st.lists(
+    st.tuples(binary_key_strategy, value_strategy), max_size=10
+)
 
 
 class TestDaietPacket:
@@ -105,6 +118,87 @@ class TestEncodeDecode:
         packet = DaietPacket(tree_id=5, src="a", dst="b", pairs=tuple(pairs), config=config)
         decoded = DaietPacket.decode(packet.encode(), src="a", dst="b", config=config)
         assert decoded.pairs == tuple(pairs)
+
+    def test_nul_suffixed_keys_round_trip(self):
+        # Keys that legitimately end in NUL bytes must survive the fixed-width
+        # padding: ``rstrip`` alone would corrupt them.
+        pairs = (("ab\x00", 1), ("c\x00\x00", 2), ("\x00", 3), ("plain", 4))
+        packet = DaietPacket(tree_id=1, src="a", dst="b", pairs=pairs)
+        decoded = DaietPacket.decode(packet.encode(), src="a", dst="b")
+        assert decoded.pairs == pairs
+
+    @settings(max_examples=80)
+    @given(
+        pairs=binary_pairs_strategy,
+        seq=st.one_of(st.none(), st.integers(0, 2**32 - 1)),
+    )
+    def test_round_trip_property_binary_and_nul_keys(self, pairs, seq):
+        packet = DaietPacket(tree_id=2, src="a", dst="b", pairs=tuple(pairs), seq=seq)
+        decoded = DaietPacket.decode(packet.encode(), src="a", dst="b")
+        assert decoded.pairs == tuple(pairs)
+        assert decoded.seq == seq
+
+    @settings(max_examples=80)
+    @given(
+        pairs=binary_pairs_strategy,
+        seq=st.one_of(st.none(), st.integers(0, 2**32 - 1)),
+    )
+    def test_encode_length_matches_payload_bytes(self, pairs, seq):
+        packet = DaietPacket(tree_id=2, src="a", dst="b", pairs=tuple(pairs), seq=seq)
+        assert len(packet.encode()) == packet.payload_bytes()
+
+    def test_seq_round_trip_and_sizes(self):
+        plain = DaietPacket(tree_id=1, src="a", dst="b", pairs=(("k", 1),))
+        sequenced = DaietPacket(tree_id=1, src="a", dst="b", pairs=(("k", 1),), seq=7)
+        assert sequenced.payload_bytes() == plain.payload_bytes() + 4
+        decoded = DaietPacket.decode(sequenced.encode(), src="a", dst="b")
+        assert decoded.seq == 7
+        assert DaietPacket.decode(plain.encode(), src="a", dst="b").seq is None
+
+
+class TestReliabilityPrimitives:
+    def test_seen_window_tracks_cumulative_and_gaps(self):
+        window = SeenWindow()
+        assert window.observe(0) and window.observe(2)
+        assert window.cumulative == 1
+        assert window.has_gaps
+        assert not window.observe(2), "duplicate detected"
+        assert window.observe(1)
+        assert window.cumulative == 3 and not window.has_gaps
+
+    def test_seen_window_completeness_requires_end_and_no_gaps(self):
+        window = SeenWindow()
+        window.observe(0)
+        window.observe(2)
+        window.end_seq = 2
+        assert not window.complete
+        window.observe(1)
+        assert window.complete
+
+    def test_ack_state_truncates_sack(self):
+        window = SeenWindow()
+        for seq in range(1, 100):
+            window.observe(seq)  # seq 0 missing: everything is out of order
+        cumulative, sack = window.ack_state(max_sack=4)
+        assert cumulative == 0
+        assert sack == (1, 2, 3, 4)
+
+    def test_ack_wire_size_grows_with_sack(self):
+        small = DaietAck(tree_id=1, src="s", dst="d", cumulative=3)
+        large = DaietAck(tree_id=1, src="s", dst="d", cumulative=3, sack=(5, 7))
+        assert large.wire_bytes() == small.wire_bytes() + 8
+        assert small.header_stack()[-1][0] == "daiet_ack"
+
+    def test_packetize_assigns_consecutive_seqs(self):
+        config = DaietConfig(pairs_per_packet=2)
+        packets = list(
+            packetize_pairs(
+                [(f"k{i}", i) for i in range(5)],
+                tree_id=1, src="m", dst="r", config=config, seq_start=10,
+            )
+        )
+        assert [p.seq for p in packets] == [10, 11, 12, 13]
+        assert packets[-1].packet_type is DaietPacketType.END
 
 
 class TestPacketize:

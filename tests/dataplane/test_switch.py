@@ -118,7 +118,24 @@ class TestDataPlane:
             "bytes_in",
             "bytes_out",
             "packets_generated",
+            "unsized_packets",
         }
+
+    def test_packet_bytes_falls_back_to_encode(self):
+        from repro.dataplane.switch import SwitchCounters, _packet_bytes
+
+        class EncodeOnly:
+            def encode(self) -> bytes:
+                return b"abcde"
+
+        class Unsized:
+            pass
+
+        counters = SwitchCounters()
+        assert _packet_bytes(EncodeOnly(), counters) == 5
+        assert counters.unsized_packets == 0
+        assert _packet_bytes(Unsized(), counters) == 0
+        assert counters.unsized_packets == 1, "unsized packet is a ledger warning"
 
     def test_switch_requires_ports(self):
         with pytest.raises(PipelineError):

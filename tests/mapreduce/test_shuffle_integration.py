@@ -30,8 +30,8 @@ def corpus():
     )
 
 
-def run_job(shuffle, corpus, register_slots: int = 4096):
-    cluster = build_cluster(num_workers=NUM_WORKERS)
+def run_job(shuffle, corpus, register_slots: int = 4096, loss_rate: float = 0.0):
+    cluster = build_cluster(num_workers=NUM_WORKERS, loss_rate=loss_rate, loss_seed=29)
     spec = make_wordcount_job(
         num_mappers=NUM_MAPPERS,
         num_reducers=NUM_REDUCERS,
@@ -57,6 +57,15 @@ class TestCorrectness:
         result = run_job(shuffle_factory(), corpus)
         assert result.output == corpus.word_counts()
         assert result.map_output_pairs == corpus.total_words
+
+    @pytest.mark.parametrize("loss_rate", [0.01, 0.05])
+    def test_daiet_shuffle_exact_over_lossy_uplinks(self, corpus, loss_rate):
+        # The acceptance scenario: WordCount end-to-end with 1%/5% loss on
+        # every host uplink produces output identical to the lossless run,
+        # thanks to the reliability layer.
+        shuffle = DaietShuffle(DaietConfig(register_slots=4096, reliability=True))
+        result = run_job(shuffle, corpus, loss_rate=loss_rate)
+        assert result.output == corpus.word_counts()
 
     def test_daiet_correct_even_with_tiny_registers(self, corpus):
         # With only 64 slots most pairs collide and spill over; the output

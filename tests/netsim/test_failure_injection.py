@@ -1,12 +1,13 @@
 """Failure-injection tests: lossy links and how DAIET behaves under loss.
 
 The paper explicitly defers packet-loss handling ("In the current prototype,
-we do not address the issue of packet losses, which we leave as future work"),
-so these tests document the behaviour of the reproduction under loss rather
-than assert full reliability: packets disappear, the aggregation engine never
-produces *wrong* values for the pairs that do arrive, and the idempotent-END
-extension (``DaietConfig(reliable_end=True)``) tolerates duplicated END
-packets caused by application-level retransmission.
+we do not address the issue of packet losses, which we leave as future work").
+The reproduction goes further: without the reliability layer these tests
+document graceful degradation (packets disappear but arriving pairs are never
+*wrong*, and idempotent END handling — now the default — tolerates duplicated
+END packets); with ``DaietConfig(reliability=True)`` the end-host reliability
+subsystem makes the aggregate bit-identical to a lossless run (see
+``TestDaietReliableUnderLoss`` and the ``loss-sweep`` experiment).
 """
 
 from __future__ import annotations
@@ -77,6 +78,21 @@ class TestLossyLinks:
 
         assert run(3) == run(3)
 
+    def test_lost_packets_still_consume_serialization_time(self):
+        # A dropped packet occupied the sender's NIC and the link for its
+        # serialization time; the link's busy horizon must advance exactly as
+        # in a lossless run, or drops would erase congestion.
+        def busy_until(loss_rate: float, seed: int) -> float:
+            topo = lossy_rack(2, loss_rate=loss_rate)
+            sim = NetworkSimulator(topo, SimulatorConfig(loss_seed=seed))
+            for _ in range(50):
+                sim.send("h0", UdpDatagram(src="h0", dst="h1", payload_bytes=1000))
+            sim.run()
+            link = topo.link_between("h0", "tor")
+            return sim._link_busy_until[(link.name, "h0")]
+
+        assert busy_until(0.5, seed=7) == busy_until(0.0, seed=7)
+
 
 class TestDaietUnderLoss:
     def _run_daiet(self, loss_rate: float, seed: int = 1) -> tuple[dict, dict]:
@@ -128,3 +144,33 @@ class TestDaietUnderLoss:
         for key, value in received.items():
             assert key in truth
             assert value <= truth[key]
+
+
+class TestDaietReliableUnderLoss:
+    """With the reliability layer on, loss costs time — never correctness."""
+
+    def _run(self, loss_rate: float, seed: int) -> None:
+        from repro.core.daiet import DaietSystem
+
+        config = DaietConfig(register_slots=128, reliability=True)
+        system = DaietSystem(
+            lossy_rack(4, loss_rate), config, SimulatorConfig(loss_seed=seed)
+        )
+        system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+        all_pairs = []
+        for mapper in ("h0", "h1", "h2"):
+            pairs = [(f"{mapper}key{i}", i + 1) for i in range(40)] + [("shared", 1)]
+            all_pairs.extend(pairs)
+            system.send_pairs(mapper, "h3", pairs)
+        system.run()
+        receiver = system.receiver("h3")
+        assert receiver.done
+        assert receiver.result() == aggregate_pairs(all_pairs, SUM)
+
+    @pytest.mark.parametrize("loss_rate", [0.0, 0.01, 0.05, 0.2])
+    def test_exact_aggregate_under_loss(self, loss_rate):
+        self._run(loss_rate, seed=23)
+
+    def test_exact_across_seeds(self):
+        for seed in (1, 2, 3, 4):
+            self._run(0.05, seed=seed)

@@ -1,0 +1,122 @@
+"""Host-side reliability: sender channels, host agents, reliable UDP."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import DaietConfig
+from repro.core.errors import TransportError
+from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
+from repro.netsim.topology import Topology
+from repro.transport.packets import MessagePayload
+from repro.transport.reliability import HostReliabilityAgent
+from repro.transport.udp import ReliableUdpTransport
+
+
+def rack(loss_rate: float = 0.0, num_hosts: int = 2) -> Topology:
+    topo = Topology(name="rel_rack")
+    topo.add_switch("tor")
+    for i in range(num_hosts):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", "tor", loss_rate=loss_rate)
+    topo.validate()
+    return topo
+
+
+def make_agents(
+    loss_rate: float, seed: int = 3, timeout: float = 1e-4, max_retransmits: int = 30
+):
+    """Two hosts joined by plain forwarding (no aggregation engine)."""
+    sim = NetworkSimulator(rack(loss_rate), SimulatorConfig(loss_seed=seed))
+    knobs = dict(
+        retransmit_timeout=timeout, ack_window=4, max_retransmits=max_retransmits
+    )
+    sender = HostReliabilityAgent(sim, "h0", **knobs)
+    receiver = HostReliabilityAgent(sim, "h1", **knobs)
+    return sim, sender, receiver
+
+
+def sequenced_partition(channel, pairs, config) -> list[DaietPacket]:
+    return [
+        DaietPacket(
+            tree_id=p.tree_id, src=p.src, dst=p.dst, packet_type=p.packet_type,
+            pairs=p.pairs, config=p.config, seq=channel.take_seq(),
+        )
+        for p in packetize_pairs(pairs, tree_id=1, src="h0", dst="h1", config=config)
+    ]
+
+
+class TestSenderChannel:
+    def run_transfer(self, loss_rate: float, seed: int = 3):
+        sim, sender, receiver = make_agents(loss_rate, seed=seed)
+        got: list[DaietPacket] = []
+        receiver.attach_tree(1, children=["h0"], inner=got.append)
+        config = DaietConfig(pairs_per_packet=2, reliability=True)
+        channel = sender.sender(1)
+        pairs = [(f"k{i}", i) for i in range(40)]
+        channel.send(sequenced_partition(channel, pairs, config))
+        receiver.arm(1)
+        sim.run()
+        return sim, sender, channel, got, pairs
+
+    def test_lossless_delivery_without_retransmissions(self):
+        _sim, sender, channel, got, pairs = self.run_transfer(0.0)
+        assert channel.done
+        assert sender.stats.retransmissions == 0
+        received = [pair for p in got for pair in p.pairs]
+        assert received == pairs
+        assert [p for p in got if p.packet_type is DaietPacketType.END]
+
+    def test_lossy_link_delivers_every_pair_exactly_once(self):
+        _sim, sender, channel, got, pairs = self.run_transfer(0.15, seed=11)
+        assert channel.done, "every packet eventually acknowledged"
+        assert sender.stats.retransmissions > 0
+        received = sorted(pair for p in got for pair in p.pairs)
+        assert received == sorted(pairs), "no pair lost, duplicated or reordered away"
+
+    def test_end_delivered_exactly_once_under_loss(self):
+        _sim, _sender, _channel, got, _pairs = self.run_transfer(0.2, seed=5)
+        ends = [p for p in got if p.packet_type is DaietPacketType.END]
+        assert len(ends) == 1
+
+    def test_sender_gives_up_after_max_retransmits(self):
+        sim, sender, receiver = make_agents(0.9, seed=1, max_retransmits=3)
+        receiver.attach_tree(1, children=["h0"], inner=lambda _p: None)
+        config = DaietConfig(reliability=True)
+        channel = sender.sender(1)
+        channel.send(sequenced_partition(channel, [("k", 1)], config))
+        with pytest.raises(TransportError):
+            sim.run()
+
+    def test_unsequenced_packet_rejected(self):
+        _sim, sender, _receiver = make_agents(0.0)
+        channel = sender.sender(1)
+        with pytest.raises(TransportError):
+            channel.send([DaietPacket(tree_id=1, src="h0", dst="h1", pairs=(("k", 1),))])
+
+
+class TestReliableUdpTransport:
+    def run_udp(self, loss_rate: float, messages: int = 30, seed: int = 9):
+        sim = NetworkSimulator(rack(loss_rate), SimulatorConfig(loss_seed=seed))
+        transport = ReliableUdpTransport(sim, retransmit_timeout=1e-4, ack_window=4)
+        received: list[tuple[str, MessagePayload]] = []
+        transport.listen_reliable("h1", 7, lambda src, p: received.append((src, p)))
+        for i in range(messages):
+            transport.send_reliable(
+                "h0", "h1", MessagePayload(kind="msg", data=i), payload_bytes=100, port=7
+            )
+        sim.run()
+        return transport, received
+
+    def test_lossless_round_trip(self):
+        transport, received = self.run_udp(0.0)
+        assert [p.data for _src, p in received] == list(range(30))
+        assert transport.flow_done("h0", "h1", 7)
+        assert transport.stats.retransmissions == 0
+
+    def test_lossy_delivery_exactly_once(self):
+        transport, received = self.run_udp(0.15)
+        assert sorted(p.data for _src, p in received) == list(range(30))
+        assert transport.flow_done("h0", "h1", 7)
+        assert transport.stats.retransmissions > 0
