@@ -1,0 +1,135 @@
+"""Shared workload definitions for the wall-clock perf harness.
+
+The macro-bench mirrors the paper's WordCount shuffle shape: every mapper
+host streams its (word, count) partition towards one reducer behind a single
+ToR switch, the switch aggregates in-flight, and the reducer collects the
+final aggregate. The workload is purely simulator-bound (corpus generation
+happens outside the timed region), so events/sec measures the discrete-event
+core, not the MapReduce scaffolding.
+
+Results are byte-identical across runs under a fixed seed; the determinism
+tests in ``tests/netsim/test_determinism.py`` guard that property while the
+perf tests here guard the throughput trajectory.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import resource
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.core.functions import SUM, aggregate_pairs
+from repro.netsim.simulator import SimulatorConfig
+from repro.netsim.topology import single_rack
+
+#: Where the perf trajectory is recorded (repo root, one JSON per bench family).
+BENCH_JSON = Path(__file__).resolve().parents[2] / "BENCH_simcore.json"
+
+
+@dataclass
+class MacroBenchResult:
+    """Measured numbers of one wordcount macro-bench run."""
+
+    events: int
+    packets: int
+    wall_seconds: float
+    events_per_sec: float
+    packets_per_sec: float
+    peak_rss_bytes: int
+    exact: bool
+
+
+def wordcount_partitions(
+    num_mappers: int, pairs_per_mapper: int, vocabulary: int, seed: int
+) -> list[list[tuple[str, int]]]:
+    """Deterministic wordcount-shaped map output, one partition per mapper."""
+    rng = random.Random(seed)
+    words = [f"word{i:05d}" for i in range(vocabulary)]
+    return [
+        [(rng.choice(words), 1) for _ in range(pairs_per_mapper)]
+        for _ in range(num_mappers)
+    ]
+
+
+def run_wordcount_macro(
+    num_mappers: int = 16,
+    pairs_per_mapper: int = 2_000,
+    vocabulary: int = 2_000,
+    register_slots: int = 4_096,
+    reliability: bool = False,
+    loss_rate: float = 0.0,
+    seed: int = 2017,
+) -> MacroBenchResult:
+    """Run the wordcount macro-bench once and measure simulator throughput.
+
+    Only ``system.run()`` is timed: topology construction, tree installation
+    and packet injection happen outside the timed region, so the number is a
+    clean events/sec figure for the discrete-event hot path.
+    """
+    partitions = wordcount_partitions(num_mappers, pairs_per_mapper, vocabulary, seed)
+    truth = aggregate_pairs(
+        [pair for partition in partitions for pair in partition], SUM
+    )
+    topo = single_rack(num_hosts=num_mappers + 1)
+    if loss_rate:
+        for link in topo.links:
+            link.loss_rate = loss_rate
+    config = DaietConfig(
+        register_slots=register_slots,
+        reliability=reliability,
+        retransmit_timeout=1e-4,
+    )
+    system = DaietSystem(topo, config, SimulatorConfig(loss_seed=seed))
+    reducer = f"h{num_mappers}"
+    mappers = [f"h{i}" for i in range(num_mappers)]
+    system.install_job(mappers=mappers, reducers=[reducer])
+    for mapper, pairs in zip(mappers, partitions):
+        system.send_pairs(mapper, reducer, pairs)
+
+    t0 = time.perf_counter()
+    events = system.run()
+    wall = time.perf_counter() - t0
+
+    stats = system.simulator.stats
+    packets = stats.total_link_packets()
+    receiver = system.receiver(reducer)
+    exact = receiver.done and receiver.result() == truth
+    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    peak_rss = peak_rss_kb * 1024 if sys.platform != "darwin" else peak_rss_kb
+    return MacroBenchResult(
+        events=events,
+        packets=packets,
+        wall_seconds=wall,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+        packets_per_sec=packets / wall if wall > 0 else 0.0,
+        peak_rss_bytes=peak_rss,
+        exact=exact,
+    )
+
+
+def record_bench(name: str, result: MacroBenchResult, **extra: float) -> None:
+    """Merge one bench result into ``BENCH_simcore.json`` (trajectory file)."""
+    payload: dict = {}
+    if BENCH_JSON.exists():
+        try:
+            payload = json.loads(BENCH_JSON.read_text())
+        except json.JSONDecodeError:
+            payload = {}
+    payload[name] = {
+        "events": result.events,
+        "packets": result.packets,
+        "wall_seconds": round(result.wall_seconds, 4),
+        "events_per_sec": round(result.events_per_sec, 1),
+        "packets_per_sec": round(result.packets_per_sec, 1),
+        "peak_rss_bytes": result.peak_rss_bytes,
+        "exact": result.exact,
+        **{key: round(value, 2) for key, value in extra.items()},
+    }
+    BENCH_JSON.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")

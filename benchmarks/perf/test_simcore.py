@@ -1,0 +1,104 @@
+"""Wall-clock perf harness for the discrete-event simulator core.
+
+Measures events/sec and packets/sec of the wordcount macro-bench (the
+simulator-bound WordCount shuffle defined in ``bench_common``) and records
+the trajectory in ``BENCH_simcore.json`` at the repo root, so every PR from
+this one onward can see whether the hot path got faster or slower.
+
+The assertions are deliberately generous — a run must be slower than HALF
+the seed-era throughput before the smoke test fails — so the gate catches
+order-of-magnitude regressions without flaking on loaded CI machines. The
+measured numbers (not the gate) are what track the trajectory.
+"""
+
+from __future__ import annotations
+
+from bench_common import MacroBenchResult, record_bench, run_wordcount_macro
+
+#: Events/sec of the seed-era simulator core on the wordcount macro-bench,
+#: measured on the same class of machine that produced the current numbers
+#: (see BENCH_simcore.json). The fast-path core does ~5x this.
+SEED_BASELINE_EVENTS_PER_SEC = 46_000
+
+#: Tier-1 smoke floor: half the seed-era throughput. Any real regression in
+#: the fast path shows up in BENCH_simcore.json long before tripping this.
+SMOKE_FLOOR_EVENTS_PER_SEC = SEED_BASELINE_EVENTS_PER_SEC / 2
+
+
+def _best_of(n: int, **kwargs) -> MacroBenchResult:
+    """Best-of-``n`` runs (wall-clock noise on shared machines is large)."""
+    best: MacroBenchResult | None = None
+    for _ in range(n):
+        result = run_wordcount_macro(**kwargs)
+        assert result.exact, "macro-bench aggregate diverged from ground truth"
+        if best is None or result.events_per_sec > best.events_per_sec:
+            best = result
+    assert best is not None
+    return best
+
+
+class TestSimulatorCoreThroughput:
+    def test_wordcount_macro_bench(self):
+        """The headline number: events/sec on the wordcount macro-bench."""
+        result = _best_of(
+            3,
+            num_mappers=16,
+            pairs_per_mapper=12_000,
+            vocabulary=8_000,
+            register_slots=16 * 1024,
+        )
+        speedup = result.events_per_sec / SEED_BASELINE_EVENTS_PER_SEC
+        record_bench(
+            "wordcount_macro",
+            result,
+            seed_baseline_events_per_sec=SEED_BASELINE_EVENTS_PER_SEC,
+            speedup_vs_seed=speedup,
+        )
+        print(
+            f"\nwordcount macro-bench: {result.events_per_sec:,.0f} events/s "
+            f"({speedup:.1f}x the seed baseline of "
+            f"{SEED_BASELINE_EVENTS_PER_SEC:,} events/s)"
+        )
+        assert result.events_per_sec >= SMOKE_FLOOR_EVENTS_PER_SEC
+
+    def test_reliable_lossy_macro_bench(self):
+        """Reliability + 1% loss: the retransmission machinery stays fast."""
+        result = _best_of(
+            2,
+            num_mappers=16,
+            pairs_per_mapper=2_000,
+            vocabulary=2_000,
+            register_slots=4_096,
+            reliability=True,
+            loss_rate=0.01,
+        )
+        record_bench("wordcount_macro_reliable_1pct_loss", result)
+        assert result.events_per_sec >= SMOKE_FLOOR_EVENTS_PER_SEC / 2
+
+    def test_scale_canary(self):
+        """A 64-worker leaf-spine reliability round as a scale canary."""
+        import time
+
+        from repro.experiments.figure_scale import ScaleSettings, run_scale_once
+
+        settings = ScaleSettings()
+        start = time.perf_counter()
+        run = run_scale_once(settings, 64)
+        wall = time.perf_counter() - start
+        assert run.exact
+        record_bench(
+            "scale_64_leaf_spine",
+            MacroBenchResult(
+                events=run.events,
+                packets=run.link_packets,
+                wall_seconds=run.wall_seconds,
+                events_per_sec=run.events_per_sec,
+                packets_per_sec=(
+                    run.link_packets / run.wall_seconds if run.wall_seconds else 0.0
+                ),
+                peak_rss_bytes=0,
+                exact=run.exact,
+            ),
+        )
+        # Generous: the full 64-worker round (setup included) stays under 30s.
+        assert wall < 30.0

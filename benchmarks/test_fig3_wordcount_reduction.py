@@ -34,5 +34,8 @@ def test_figure3_data_volume_and_reduce_time(benchmark, write_report):
     assert volume.maximum - volume.minimum < 0.05
 
     # Reduce time falls roughly as much as the data volume (paper: 83.6%).
-    assert reduce_time.median > PAPER_REDUCE_TIME_MEDIAN - 0.15
+    # Unlike every other metric this one is *measured wall-clock* (the reduce
+    # phase is timed with perf_counter), so it jitters with machine load; the
+    # tolerance is wide enough that only a real behavioural change trips it.
+    assert reduce_time.median > PAPER_REDUCE_TIME_MEDIAN - 0.20
     assert reduce_time.median <= 1.0

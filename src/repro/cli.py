@@ -7,6 +7,7 @@ Usage::
     python -m repro fig1c [--quick] [--vertices N]
     python -m repro fig3  [--quick]
     python -m repro loss-sweep [--quick]
+    python -m repro scale [--quick] [--fabric leaf_spine|fat_tree]
     python -m repro all   [--quick]
 
 Each subcommand runs the corresponding experiment runner from
@@ -17,6 +18,7 @@ harness writes to ``benchmarks/output/``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import Callable, Sequence
 
 from repro.analysis.reporting import render_comparison_table
@@ -31,6 +33,7 @@ from repro.experiments.figure1_ml import (
 )
 from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
 from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
+from repro.experiments.figure_scale import ScaleSettings, run_scale
 
 
 def _ml_settings(quick: bool) -> Figure1MlSettings:
@@ -92,6 +95,15 @@ def run_loss_sweep_cmd(args: argparse.Namespace) -> str:
     return run_loss_sweep(settings).report
 
 
+def run_scale_cmd(args: argparse.Namespace) -> str:
+    """Cluster-scale sweep: 16-256 workers on a multi-switch fabric."""
+    settings = ScaleSettings().quick() if args.quick else ScaleSettings()
+    fabric = getattr(args, "fabric", None)
+    if fabric is not None:
+        settings = dataclasses.replace(settings, fabric=fabric)
+    return run_scale(settings).report
+
+
 def run_all(args: argparse.Namespace) -> str:
     """Every figure, back to back."""
     parts = [
@@ -100,6 +112,7 @@ def run_all(args: argparse.Namespace) -> str:
         run_fig1c(args),
         run_fig3(args),
         run_loss_sweep_cmd(args),
+        run_scale_cmd(args),
     ]
     return "\n\n".join(parts)
 
@@ -110,6 +123,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig1c": run_fig1c,
     "fig3": run_fig3,
     "loss-sweep": run_loss_sweep_cmd,
+    "scale": run_scale_cmd,
     "all": run_all,
 }
 
@@ -132,6 +146,13 @@ def build_parser() -> argparse.ArgumentParser:
         if name in ("fig1c", "all"):
             sub.add_argument(
                 "--vertices", type=int, default=None, help="graph size for Figure 1(c)"
+            )
+        if name == "scale":
+            sub.add_argument(
+                "--fabric",
+                choices=("leaf_spine", "fat_tree"),
+                default=None,
+                help="fabric for the cluster-scale sweep (default: leaf_spine)",
             )
         sub.set_defaults(func=func)
     return parser

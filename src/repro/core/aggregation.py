@@ -19,7 +19,11 @@ from typing import Any, Iterable
 
 from repro.core.config import DaietConfig
 from repro.core.errors import AggregationError
-from repro.core.functions import AggregationFunction, get as get_function
+from repro.core.functions import SUM, AggregationFunction, get as get_function
+
+#: The sum combiner, identity-compared in the data-plane hot loop so the
+#: dominant workload merges with an inline ``+`` instead of a lambda call.
+_SUM_COMBINE = SUM.combine
 from repro.core.packet import (
     DaietAck,
     DaietPacket,
@@ -104,6 +108,10 @@ class TreeState:
     #: Sequence numbers already retransmitted since the last ACK progress,
     #: so duplicate ACKs do not trigger a retransmission storm.
     _retransmitted: set[int] = field(default_factory=set, repr=False)
+    #: Memo of ``hash_key(key, register_slots)`` — the hash is deterministic
+    #: and ``register_slots`` is fixed per tree, so repeated keys (the whole
+    #: point of aggregation) skip the encode+CRC32 on every later packet.
+    _hash_cache: dict[Any, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_children <= 0:
@@ -131,13 +139,19 @@ class TreeState:
     def rearm(self) -> None:
         """Reset the tree state for the next aggregation round.
 
+        Slot reuse: only the cells still recorded in the index stack are
+        cleared, instead of reallocating the two full register arrays. After
+        a final flush the stack is already empty, so the common rearm is
+        O(1) — with the paper's 16K-slot registers the old full reset
+        dominated multi-round (e.g. ML training) runs.
+
         Sequence windows and the unacknowledged-flush buffer deliberately
         survive rearming: sequence numbers are monotonic across rounds, and
         flush packets from the finished round may still need retransmitting.
         """
-        self.key_register.reset()
-        self.value_register.reset()
-        self.index_stack.clear()
+        for idx in self.index_stack.drain():
+            self.key_register.clear(idx)
+            self.value_register.clear(idx)
         self.spillover.flush()
         self.remaining_children = self.num_children
         self._ended_sources.clear()
@@ -209,8 +223,25 @@ class DaietAggregationEngine:
         The incoming DAIET packet (or ACK) is consumed — it never continues
         to the forwarding stage. Flushed aggregates go out on the tree's
         egress port; reliability ACKs go out on the originating child's port.
+
+        This is :meth:`handle_packet` inlined (shared hot path): the tree
+        lookup and DATA/END dispatch happen directly on the context.
         """
         packet = ctx.packet
+        if type(packet) is DaietPacket:
+            ctx.metadata["consumed"] = True
+            # Charge one operation per pair, modelling the per-stage ALU work.
+            npairs = len(packet.pairs)
+            ctx.charge(npairs if npairs > 1 else 1)
+            state = self.tree(packet.tree_id)
+            state.counters.packets_received += 1
+            if packet.packet_type is DaietPacketType.DATA:
+                out = self._process_data(state, packet)
+            else:
+                out = self._process_end(state, packet)
+            if out:
+                ctx.emitted.extend(out)
+            return
         if isinstance(packet, DaietAck):
             ctx.metadata["consumed"] = True
             ctx.charge(1)
@@ -223,7 +254,6 @@ class DaietAggregationEngine:
                 f"{type(packet).__name__}"
             )
         ctx.metadata["consumed"] = True
-        # Charge one operation per pair, modelling the per-stage ALU work.
         ctx.charge(max(1, packet.num_pairs))
         for port, out_packet in self.handle_packet(packet):
             ctx.emit(port, out_packet)
@@ -300,25 +330,50 @@ class DaietAggregationEngine:
                 # Retransmission of something already aggregated: idempotent.
                 state.counters.duplicate_packets += 1
                 return self._ack_child(state, packet.src)
+        # Hot loop of Algorithm 1. Register cells are accessed directly (the
+        # hash already guarantees a valid index), the per-key CRC32 is
+        # memoized on the tree, and ``combine`` skips the AggregationFunction
+        # __call__ indirection — this loop runs once per pair per hop.
+        counters = state.counters
+        key_cells = state.key_register._cells
+        value_cells = state.value_register._cells
+        slots = state.config.register_slots
+        hash_cache = state._hash_cache
+        combine = state.function.combine
+        index_stack = state.index_stack
+        spillover = state.spillover
+        inserted = 0
+        aggregated = 0
+        is_sum = combine is _SUM_COMBINE
         for key, value in packet.pairs:
-            state.counters.pairs_received += 1
-            idx = hash_key(key, state.config.register_slots)
-            if state.key_register.is_empty(idx):
-                state.key_register.write(idx, key)
-                state.value_register.write(idx, value)
-                state.index_stack.push(idx)
-                state.counters.pairs_inserted += 1
-            elif state.key_register.read(idx) == key:
-                current = state.value_register.read(idx)
-                state.value_register.write(idx, state.function(current, value))
-                state.counters.pairs_aggregated += 1
+            idx = hash_cache.get(key)
+            if idx is None:
+                idx = hash_cache[key] = hash_key(key, slots)
+            cell_key = key_cells[idx]
+            if cell_key is None:
+                key_cells[idx] = key
+                value_cells[idx] = value
+                index_stack.push(idx)
+                inserted += 1
+            elif cell_key == key:
+                # The sum function (WordCount, gradient aggregation — the
+                # dominant workloads) merges inline instead of through the
+                # lambda call.
+                if is_sum:
+                    value_cells[idx] = value_cells[idx] + value
+                else:
+                    value_cells[idx] = combine(value_cells[idx], value)
+                aggregated += 1
             else:
-                state.counters.collisions += 1
-                if state.spillover.store(key, value, state.function):
-                    if state.spillover.is_full:
+                counters.collisions += 1
+                if spillover.store(key, value, state.function):
+                    if spillover.is_full:
                         emitted.extend(self._flush_spillover(state))
                 else:
-                    state.counters.spillover_merges += 1
+                    counters.spillover_merges += 1
+        counters.pairs_received += len(packet.pairs)
+        counters.pairs_inserted += inserted
+        counters.pairs_aggregated += aggregated
         if packet.seq is not None:
             src = packet.src
             window = state.window(src)
@@ -416,16 +471,17 @@ class DaietAggregationEngine:
         """Flush spillover first, then the aggregated registers, then END."""
         state.counters.final_flushes += 1
         pairs: list[tuple[str, int]] = list(state.spillover.flush())
+        key_cells = state.key_register._cells
+        value_cells = state.value_register._cells
         for idx in state.index_stack.drain():
-            key = state.key_register.read(idx)
-            value = state.value_register.read(idx)
+            key = key_cells[idx]
             if key is None:
                 raise AggregationError(
                     f"index stack of tree {state.tree_id} pointed at an empty slot"
                 )
-            pairs.append((key, value))
-            state.key_register.clear(idx)
-            state.value_register.clear(idx)
+            pairs.append((key, value_cells[idx]))
+            key_cells[idx] = None
+            value_cells[idx] = None
         emitted = self._emit_pairs(state, pairs, include_end=True)
         return emitted
 

@@ -33,6 +33,9 @@ from repro.netsim.topology import Topology, single_rack
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <-> transport)
     from repro.transport.reliability import HostReliabilityAgent
 
+#: Sentinel distinguishing "key absent" from a stored ``None`` value.
+_MISSING = object()
+
 
 @dataclass
 class ReceiverCounters:
@@ -68,20 +71,21 @@ class DaietReceiver:
         """Host receiver callback; ignores traffic for other trees."""
         if not isinstance(packet, DaietPacket) or packet.tree_id != self.tree_id:
             return
-        self.counters.packets += 1
-        self.counters.wire_bytes += packet.wire_bytes()
-        self.counters.payload_bytes += packet.payload_bytes()
+        counters = self.counters
+        counters.packets += 1
+        counters.wire_bytes += packet.wire_bytes()
+        counters.payload_bytes += packet.payload_bytes()
         if packet.packet_type is DaietPacketType.END:
-            self.counters.end_packets += 1
+            counters.end_packets += 1
             self._ends_seen += 1
             return
-        self.counters.data_packets += 1
+        counters.data_packets += 1
+        counters.pairs += len(packet.pairs)
+        values = self._values
+        combine = self.function.combine
         for key, value in packet.pairs:
-            self.counters.pairs += 1
-            if key in self._values:
-                self._values[key] = self.function(self._values[key], value)
-            else:
-                self._values[key] = value
+            current = values.get(key, _MISSING)
+            values[key] = value if current is _MISSING else combine(current, value)
 
     @property
     def done(self) -> bool:

@@ -69,9 +69,16 @@ class DaietPacketType(enum.Enum):
     END = 2
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DaietPacket:
-    """One DAIET protocol packet (DATA with key-value pairs, or END marker)."""
+    """One DAIET protocol packet (DATA with key-value pairs, or END marker).
+
+    Instances are immutable, so every derived quantity that the hot paths
+    need repeatedly — payload/wire sizes, the key-length flag, the parser's
+    size profile — is computed once in ``__post_init__`` (or lazily, for the
+    parser profile) and cached in slots. ``wire_bytes()`` in particular is
+    read on every hop, every stats record and every retransmission.
+    """
 
     tree_id: int
     src: str
@@ -82,30 +89,67 @@ class DaietPacket:
     #: Optional per-(tree, sender) sequence number used by the reliability
     #: layer; ``None`` keeps the original, unreliable wire format byte-for-byte.
     seq: int | None = None
+    #: Cached: True when fixed-width keys need explicit length bytes on the wire.
+    _keylen_needed: bool = field(init=False, repr=False, compare=False)
+    #: Cached DAIET payload size (preamble + pairs).
+    _payload_bytes: int = field(init=False, repr=False, compare=False)
+    #: Cached lazily on first ``header_sizes()`` call (see that method).
+    _header_sizes: tuple[tuple[str, int], ...] | None = field(
+        init=False, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.tree_id < 0:
             raise PacketFormatError("tree_id must be non-negative")
         if self.seq is not None and not 0 <= self.seq < 2**32:
             raise PacketFormatError("seq must fit an unsigned 32-bit field")
-        # Cached: payload_bytes()/encode()/header_stack() run on hot
-        # accounting paths (per hop, per retransmission) and the pairs of a
-        # frozen packet never change.
-        object.__setattr__(self, "_keylen_needed", self._compute_needs_keylens())
         if self.packet_type is DaietPacketType.END and self.pairs:
             raise PacketFormatError("END packets must not carry key-value pairs")
-        if len(self.pairs) > self.config.pairs_per_packet:
+        config = self.config
+        if len(self.pairs) > config.pairs_per_packet:
             raise PacketFormatError(
                 f"packet carries {len(self.pairs)} pairs but the configuration "
-                f"allows at most {self.config.pairs_per_packet}"
+                f"allows at most {config.pairs_per_packet}"
             )
+        # One pass over the pairs computes everything the old code derived in
+        # three separate loops (width validation, the key-length flag and the
+        # serialized pair bytes). ASCII ``str`` keys — the overwhelmingly
+        # common case — never touch ``str.encode``.
+        variable = config.variable_length_keys
+        key_width = config.key_width
+        keylen_needed = False
+        var_key_bytes = 0
         for key, _value in self.pairs:
-            encoded = key.encode() if isinstance(key, str) else bytes(key)
-            if not self.config.variable_length_keys and len(encoded) > self.config.key_width:
-                raise PacketFormatError(
-                    f"key {key!r} is {len(encoded)} B, exceeding the fixed key "
-                    f"width of {self.config.key_width} B"
-                )
+            if type(key) is str and key.isascii():
+                encoded_len = len(key)
+                ends_nul = encoded_len > 0 and key[-1] == "\x00"
+            else:
+                encoded = key.encode() if isinstance(key, str) else bytes(key)
+                encoded_len = len(encoded)
+                ends_nul = encoded.endswith(b"\x00")
+            if variable:
+                var_key_bytes += encoded_len
+            else:
+                if encoded_len > key_width:
+                    raise PacketFormatError(
+                        f"key {key!r} is {encoded_len} B, exceeding the fixed key "
+                        f"width of {key_width} B"
+                    )
+                if ends_nul:
+                    keylen_needed = True
+        num_pairs = len(self.pairs)
+        if variable:
+            pair_bytes = num_pairs * (1 + config.value_width) + var_key_bytes
+        else:
+            pair_bytes = num_pairs * config.pair_bytes
+            if keylen_needed:
+                pair_bytes += num_pairs
+        extra = SEQ_BYTES if self.seq is not None else 0
+        object.__setattr__(self, "_keylen_needed", keylen_needed)
+        object.__setattr__(
+            self, "_payload_bytes", DAIET_PREAMBLE_BYTES + extra + pair_bytes
+        )
+        object.__setattr__(self, "_header_sizes", None)
 
     # ------------------------------------------------------------------ #
     # Sizes
@@ -115,15 +159,6 @@ class DaietPacket:
         """Number of key-value pairs carried by the packet."""
         return len(self.pairs)
 
-    def _compute_needs_keylens(self) -> bool:
-        if self.config.variable_length_keys:
-            return False
-        for key, _value in self.pairs:
-            encoded = key.encode() if isinstance(key, str) else bytes(key)
-            if encoded.endswith(b"\x00"):
-                return True
-        return False
-
     def _needs_keylens(self) -> bool:
         """True when fixed-width keys require explicit length bytes.
 
@@ -132,21 +167,11 @@ class DaietPacket:
         travels with the packet, so such packets carry one length byte per
         pair (see :data:`FLAG_KEYLEN`).
         """
-        return self._keylen_needed  # type: ignore[attr-defined]
+        return self._keylen_needed
 
     def payload_bytes(self) -> int:
-        """DAIET payload size: preamble plus the serialized pairs."""
-        if self.config.variable_length_keys:
-            pair_bytes = sum(
-                1 + _key_bytes_len(key, self.config) + self.config.value_width
-                for key, _ in self.pairs
-            )
-        else:
-            pair_bytes = self.num_pairs * self.config.pair_bytes
-            if self._needs_keylens():
-                pair_bytes += self.num_pairs
-        extra = SEQ_BYTES if self.seq is not None else 0
-        return DAIET_PREAMBLE_BYTES + extra + pair_bytes
+        """DAIET payload size: preamble plus the serialized pairs (cached)."""
+        return self._payload_bytes
 
     def wire_bytes(self) -> int:
         """Full frame size (Ethernet + IPv4 + UDP + DAIET payload)."""
@@ -154,7 +179,7 @@ class DaietPacket:
             ETHERNET_HEADER_BYTES
             + IP_HEADER_BYTES
             + UDP_HEADER_BYTES
-            + self.payload_bytes()
+            + self._payload_bytes
         )
 
     # ------------------------------------------------------------------ #
@@ -191,6 +216,37 @@ class DaietPacket:
                 nbytes = self.config.pair_bytes
             stack.append((f"kv_{i}", {"key": key, "value": value}, nbytes))
         return stack
+
+    def header_sizes(self) -> tuple[tuple[str, int], ...]:
+        """The ``(name, nbytes)`` profile of :meth:`header_stack`.
+
+        Used by the parser to attribute a parse-depth overflow to the first
+        offending header without building the per-pair metadata dictionaries
+        of :meth:`header_stack`. The profile is cached — a packet may be
+        re-parsed on every switch hop and every retransmission.
+        """
+        cached = self._header_sizes
+        if cached is not None:
+            return cached
+        sizes = tuple((name, nbytes) for name, _header, nbytes in self.header_stack())
+        object.__setattr__(self, "_header_sizes", sizes)
+        return sizes
+
+    def parse_depth_bytes(self) -> int:
+        """Total bytes a switch parser must inspect for this packet.
+
+        Every header of a DAIET packet — encapsulation, preamble *and* all
+        pair headers — is parseable, so the parse depth equals the frame
+        size. This single cached integer is the parser's happy-path check
+        (see ``HeaderParser.charge``); the per-header walk only happens when
+        the budget is actually exceeded.
+        """
+        return (
+            ETHERNET_HEADER_BYTES
+            + IP_HEADER_BYTES
+            + UDP_HEADER_BYTES
+            + self._payload_bytes
+        )
 
     # ------------------------------------------------------------------ #
     # Byte-level serialization
@@ -444,7 +500,7 @@ class SeenWindow:
         return self.cumulative, tuple(sorted(self.out_of_order)[:max_sack])
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DaietAck:
     """Reliability control packet flowing parent-to-child along a tree.
 
@@ -498,3 +554,16 @@ class DaietAck:
                 self.payload_bytes(),
             ),
         ]
+
+    def header_sizes(self) -> tuple[tuple[str, int], ...]:
+        """The ``(name, nbytes)`` parse profile (parser fast path)."""
+        return (
+            ("ethernet", ETHERNET_HEADER_BYTES),
+            ("ipv4", IP_HEADER_BYTES),
+            ("udp", UDP_HEADER_BYTES),
+            ("daiet_ack", self.payload_bytes()),
+        )
+
+    def parse_depth_bytes(self) -> int:
+        """Total parseable bytes (every ACK header is parseable)."""
+        return self.wire_bytes()

@@ -90,6 +90,48 @@ class HeaderParser:
         self.bytes_parsed += parsed_bytes
         return ParseResult(headers=headers, parsed_bytes=parsed_bytes)
 
+    def charge(self, packet: Any) -> int:
+        """Enforce the parse-depth budget without extracting header objects.
+
+        The data-plane fast path: per-hop processing only needs to know that
+        the packet *would* parse within ``max_parse_bytes``, so packets that
+        expose a cached ``header_sizes()`` profile (see
+        :meth:`repro.core.packet.DaietPacket.header_sizes`) are charged from
+        it directly — no per-header metadata dictionaries are built. Packets
+        without the fast-path method fall through to a full :meth:`parse`.
+
+        Raises the same errors as :meth:`parse` and updates the same
+        ``packets_parsed``/``bytes_parsed`` counters; returns the parsed byte
+        count.
+        """
+        total_fn = getattr(packet, "parse_depth_bytes", None)
+        if total_fn is not None:
+            # Happy path: one cached integer against the budget. Header
+            # sizes are non-negative, so the total fits within the budget
+            # exactly when every prefix does.
+            parsed_bytes = total_fn()
+            if parsed_bytes <= self.resources.max_parse_bytes:
+                self.packets_parsed += 1
+                self.bytes_parsed += parsed_bytes
+                return parsed_bytes
+        sizes_fn = getattr(packet, "header_sizes", None)
+        if sizes_fn is None:
+            return self.parse(packet).parsed_bytes
+        parsed_bytes = 0
+        limit = self.resources.max_parse_bytes
+        for name, nbytes in sizes_fn():
+            if nbytes < 0:
+                raise PacketFormatError(f"header {name!r} reports a negative length")
+            parsed_bytes += nbytes
+            if parsed_bytes > limit:
+                raise ResourceExhaustedError(
+                    f"parse depth exceeded: header {name!r} ends at byte "
+                    f"{parsed_bytes}, target limit is {limit}"
+                )
+        self.packets_parsed += 1
+        self.bytes_parsed += parsed_bytes
+        return parsed_bytes
+
     def max_pairs_per_packet(self, preamble_bytes: int, pair_bytes: int) -> int:
         """How many fixed-size pairs fit within the parse-depth budget.
 

@@ -21,6 +21,16 @@ from repro.dataplane.tables import MatchActionTable
 StageStep = MatchActionTable | Callable[[PacketContext], None]
 
 
+def _charged_extern(step: Callable[[PacketContext], None]) -> Callable[[PacketContext], None]:
+    """Bind an extern step with its one-op charge (pipeline compilation)."""
+
+    def run(ctx: PacketContext) -> None:
+        ctx.charge(1)
+        step(ctx)
+
+    return run
+
+
 @dataclass
 class PipelineStage:
     """One physical stage of the pipeline, holding an ordered list of steps."""
@@ -39,8 +49,9 @@ class PipelineStage:
 
     def apply(self, ctx: PacketContext) -> None:
         """Run every step of the stage unless the packet was dropped/consumed."""
+        metadata = ctx.metadata
         for step in self.steps:
-            if ctx.metadata.get("drop") or ctx.metadata.get("consumed"):
+            if metadata.get("drop") or metadata.get("consumed"):
                 return
             if isinstance(step, MatchActionTable):
                 step.apply(ctx)
@@ -58,6 +69,14 @@ class Pipeline:
         self._stages: list[PipelineStage] = []
         self.packets_processed = 0
         self.packets_dropped = 0
+        #: Compiled per-step callables flattened across every stage, and the
+        #: source steps they were compiled from. The source list is identity-
+        #: compared on every packet, so appends, removals *and* in-place step
+        #: replacements all invalidate the compilation. Processing checks
+        #: drop/consumed before every step either way, so stage boundaries
+        #: carry no extra semantics on the hot path.
+        self._flat_ops: list[Callable[[PacketContext], None]] = []
+        self._flat_src: list[StageStep] = []
 
     def add_stage(self, name: str | None = None) -> PipelineStage:
         """Append a new stage; fails when the target has no stage left."""
@@ -86,18 +105,53 @@ class Pipeline:
                     found[step.name] = step
         return found
 
-    def process(self, packet: Any, ingress_port: int) -> PacketContext:
-        """Run one packet through every stage and return the final context."""
-        ctx = PacketContext(
-            packet=packet,
-            metadata={"ingress_port": ingress_port, "drop": False, "consumed": False},
-            ops=PacketOpCounter(limit=self.resources.max_ops_per_packet),
-        )
+    def process(
+        self, packet: Any, ingress_port: int, _ctx: PacketContext | None = None
+    ) -> PacketContext:
+        """Run one packet through every stage and return the final context.
+
+        ``_ctx`` is a recycled context provided by a trusted caller (the
+        switch fast path); its metadata dict and emitted list must already be
+        fresh. External callers omit it and receive a brand-new context.
+        """
+        metadata = {"ingress_port": ingress_port, "drop": False, "consumed": False}
+        if _ctx is None:
+            ctx = PacketContext(
+                packet=packet,
+                metadata=metadata,
+                ops=PacketOpCounter(limit=self.resources.max_ops_per_packet),
+            )
+        else:
+            ctx = _ctx
+            ctx.packet = packet
+            ctx.metadata = metadata
+        src = self._flat_src
+        n_src = len(src)
+        index = 0
+        stale = False
         for stage in self._stages:
-            if ctx.metadata.get("drop") or ctx.metadata.get("consumed"):
+            for step in stage.steps:
+                if index >= n_src or src[index] is not step:
+                    stale = True
+                    break
+                index += 1
+            if stale:
                 break
-            stage.apply(ctx)
+        if stale or index != n_src:
+            self._flat_src = [
+                step for stage in self._stages for step in stage.steps
+            ]
+            self._flat_ops = [
+                step.apply
+                if isinstance(step, MatchActionTable)
+                else _charged_extern(step)
+                for step in self._flat_src
+            ]
+        for op in self._flat_ops:
+            if metadata["drop"] or metadata["consumed"]:
+                break
+            op(ctx)
         self.packets_processed += 1
-        if ctx.metadata.get("drop"):
+        if metadata["drop"]:
             self.packets_dropped += 1
         return ctx

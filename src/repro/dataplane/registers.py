@@ -139,10 +139,16 @@ class SpilloverBucket:
     contents must be flushed (sent to the next node in the aggregation tree).
     The paper sends spillover pairs *first* so the next hop can still aggregate
     them if it has spare memory.
+
+    A key → slot dictionary rides alongside the FIFO pair list so that the
+    merge check in :meth:`store` is O(1) instead of a scan over the whole
+    bucket on every collision; flush order stays strictly FIFO.
     """
 
     capacity: int
     _pairs: list[tuple[Any, Any]] = field(default_factory=list, repr=False)
+    #: key -> index into ``_pairs`` (rebuilt empty on every flush).
+    _slots: dict[Any, int] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         if self.capacity <= 0:
@@ -165,21 +171,42 @@ class SpilloverBucket:
         of one key must not inflate spillover flushes. Returns ``True`` when a
         new entry was appended and ``False`` when the pair was merged.
         """
-        if combine is not None:
-            for i, (stored_key, stored_value) in enumerate(self._pairs):
-                if stored_key == key:
-                    self._pairs[i] = (stored_key, combine(stored_value, value))
-                    return False
-        if self.is_full:
+        try:
+            slot = self._slots.get(key)
+        except TypeError:
+            # Unhashable key: preserve the original linear-scan behaviour.
+            slot = next(
+                (i for i, (stored, _v) in enumerate(self._pairs) if stored == key),
+                None,
+            )
+            if combine is not None and slot is not None:
+                stored_key, stored_value = self._pairs[slot]
+                self._pairs[slot] = (stored_key, combine(stored_value, value))
+                return False
+            if len(self._pairs) >= self.capacity:
+                raise ResourceExhaustedError(
+                    f"spillover bucket overflow (capacity {self.capacity})"
+                ) from None
+            self._pairs.append((key, value))
+            return True
+        if combine is not None and slot is not None:
+            stored_key, stored_value = self._pairs[slot]
+            self._pairs[slot] = (stored_key, combine(stored_value, value))
+            return False
+        if len(self._pairs) >= self.capacity:
             raise ResourceExhaustedError(
                 f"spillover bucket overflow (capacity {self.capacity})"
             )
+        # ``setdefault`` keeps the *first* slot for a key stored repeatedly
+        # without ``combine``, matching the old scan-from-the-front merge.
+        self._slots.setdefault(key, len(self._pairs))
         self._pairs.append((key, value))
         return True
 
     def flush(self) -> list[tuple[Any, Any]]:
         """Remove and return all buffered pairs in FIFO order."""
         pairs, self._pairs = self._pairs, []
+        self._slots = {}
         return pairs
 
     def peek(self) -> tuple[tuple[Any, Any], ...]:

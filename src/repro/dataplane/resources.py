@@ -102,7 +102,7 @@ class ResourceLedger:
         return dict(self._allocations)
 
 
-@dataclass
+@dataclass(slots=True)
 class PacketOpCounter:
     """Per-packet operation counter enforcing the line-rate budget.
 

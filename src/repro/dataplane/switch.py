@@ -9,13 +9,14 @@ can be unit-tested in isolation and wrapped by
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any
 
 from repro.core.errors import PipelineError, TableError
+from repro.dataplane.actions import PacketContext
 from repro.dataplane.parser import HeaderParser, ParseResult
 from repro.dataplane.pipeline import Pipeline
-from repro.dataplane.resources import ResourceLedger, SwitchResources
+from repro.dataplane.resources import PacketOpCounter, ResourceLedger, SwitchResources
 from repro.dataplane.tables import FlowRule, MatchActionTable
 
 #: Egress port value meaning "broadcast to every port except the ingress one".
@@ -78,6 +79,10 @@ class ProgrammableSwitch:
         self.pipeline = Pipeline(self.resources, name=f"{name}.ingress")
         self.counters = SwitchCounters()
         self.externs: dict[str, Any] = {}
+        #: Recycled per-packet context (one packet in flight per switch at a
+        #: time in the discrete-event model); the metadata dict and emitted
+        #: list are refreshed per packet, only the shells are reused.
+        self._ctx = PacketContext(packet=None, ops=PacketOpCounter(limit=self.resources.max_ops_per_packet))
 
     # ------------------------------------------------------------------ #
     # Control-plane interface
@@ -119,47 +124,67 @@ class ProgrammableSwitch:
     # ------------------------------------------------------------------ #
     # Data-plane interface
     # ------------------------------------------------------------------ #
-    def receive(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+    def receive(
+        self, packet: Any, ingress_port: int, nbytes: int | None = None
+    ) -> list[tuple[int, Any]]:
         """Process one packet; return ``(egress_port, packet)`` transmissions.
 
         The returned list contains zero entries when the packet was dropped or
         fully absorbed by an extern, one entry for plain forwarding, and
         possibly several entries when the pipeline emitted switch-generated
         packets (e.g. DAIET flushes) or the packet was broadcast.
+
+        ``nbytes`` is the packet's wire size when the caller (the simulator
+        fast path) already knows it; sizing is re-derived otherwise.
         """
         if not 0 <= ingress_port < self.num_ports:
             raise PipelineError(
                 f"ingress port {ingress_port} out of range for switch {self.name!r}"
             )
-        self.counters.packets_in += 1
-        self.counters.bytes_in += _packet_bytes(packet, self.counters)
+        counters = self.counters
+        counters.packets_in += 1
+        counters.bytes_in += (
+            nbytes if nbytes is not None else _packet_bytes(packet, counters)
+        )
 
-        parse_result = self.parser.parse(packet)
-        ctx = self.pipeline.process(packet, ingress_port)
-        ctx.metadata.setdefault("parse_result", parse_result)
+        # Fast path: the parser only enforces the parse-depth budget here;
+        # full header extraction (ParseResult) stays available via
+        # :meth:`parse_only` for tests and diagnostics.
+        parsed_bytes = self.parser.charge(packet)
+        ctx = self._ctx
+        ctx.ops.used = 0
+        ctx.emitted = []
+        ctx = self.pipeline.process(packet, ingress_port, _ctx=ctx)
+        metadata = ctx.metadata
+        metadata["parsed_bytes"] = parsed_bytes
 
         out: list[tuple[int, Any]] = []
-        if not ctx.metadata.get("drop") and not ctx.metadata.get("consumed"):
-            egress = ctx.metadata.get("egress_port")
+        if not metadata.get("drop") and not metadata.get("consumed"):
+            egress = metadata.get("egress_port")
             if egress is None:
                 # No forwarding decision: drop, as real switches do on a miss.
-                self.counters.packets_dropped += 1
+                counters.packets_dropped += 1
             elif egress == BROADCAST_PORT:
                 for port in range(self.num_ports):
                     if port != ingress_port:
                         out.append((port, packet))
             else:
                 out.append((int(egress), packet))
-        elif ctx.metadata.get("drop"):
-            self.counters.packets_dropped += 1
+        elif metadata.get("drop"):
+            counters.packets_dropped += 1
 
-        for egress_port, generated in ctx.emitted:
-            out.append((egress_port, generated))
-            self.counters.packets_generated += 1
+        emitted = ctx.emitted
+        if emitted:
+            out.extend(emitted)
+            counters.packets_generated += len(emitted)
 
-        for _, pkt in out:
-            self.counters.packets_out += 1
-            self.counters.bytes_out += _packet_bytes(pkt, self.counters)
+        if out:
+            counters.packets_out += len(out)
+            if len(out) == 1 and out[0][1] is packet and nbytes is not None:
+                counters.bytes_out += nbytes
+            else:
+                for _, pkt in out:
+                    counters.bytes_out += _packet_bytes(pkt, counters)
         return out
 
     def parse_only(self, packet: Any) -> ParseResult:

@@ -19,6 +19,25 @@ from repro.dataplane.actions import Action, NoAction, PacketContext
 WILDCARD = "*"
 
 
+def _canonical_key(match: Mapping[str, Any]) -> tuple | None:
+    """Hashable canonical form of an exact-match key (``None`` if unhashable).
+
+    Items are ordered by field name so the form is independent of dict
+    insertion order; field names are unique, so values never take part in the
+    sort comparison.
+    """
+    try:
+        key = tuple(sorted(match.items(), key=_item_field))
+        hash(key)
+    except TypeError:
+        return None
+    return key
+
+
+def _item_field(item: tuple[str, Any]) -> str:
+    return item[0]
+
+
 @dataclass(frozen=True)
 class FlowRule:
     """A single control-plane rule destined for one table on one switch.
@@ -118,6 +137,23 @@ class MatchActionTable:
         self._actions: dict[str, type[Action] | Action] = {}
         self.hit_count = 0
         self.miss_count = 0
+        # Exact-match acceleration: entries whose match values are hashable
+        # live in a dict keyed by their canonical (sorted-by-field) item
+        # tuple, so a lookup is O(1) instead of a scan over every installed
+        # entry (the forwarding table holds one entry per reachable host, so
+        # the scan was O(hosts) per packet at cluster scale). Entries with
+        # unhashable match values fall back to the linear list.
+        self._exact_index: dict[tuple, TableEntry] = {}
+        self._unindexed: list[TableEntry] = []
+        #: Bumped on every control-plane mutation; lets callers cache lookup
+        #: results and revalidate with a single integer comparison.
+        self.version = 0
+        self._sorted_fields = tuple(sorted(self.match_fields))
+        #: Single-field exact tables (the common case: ``dst`` forwarding,
+        #: ``tree_id`` steering) skip the per-packet key-tuple genexpr.
+        self._single_field = (
+            self._sorted_fields[0] if len(self._sorted_fields) == 1 else None
+        )
 
     def register_action(self, name: str, action: type[Action] | Action) -> None:
         """Make an action available to flow rules under ``name``."""
@@ -126,6 +162,7 @@ class MatchActionTable:
     def set_default_action(self, action: Action) -> None:
         """Action executed on a table miss."""
         self.default_action = action
+        self.version += 1
 
     def install(self, rule: FlowRule) -> TableEntry:
         """Install a control-plane rule, returning the created entry."""
@@ -147,21 +184,38 @@ class MatchActionTable:
                 f"duplicate exact-match entry in table {self.name!r}: {entry.match}"
             )
         self._entries.append(entry)
+        self.version += 1
+        if self.match_kind == "exact":
+            key = _canonical_key(entry.match)
+            if key is None:
+                self._unindexed.append(entry)
+            else:
+                self._exact_index[key] = entry
         if self.match_kind == "ternary":
             self._entries.sort(key=lambda e: -e.priority)
         return entry
 
     def remove(self, match: Mapping[str, Any]) -> bool:
         """Remove the entry with the given match key; returns ``True`` if found."""
+        target = dict(match)
         for i, entry in enumerate(self._entries):
-            if entry.match == dict(match):
+            if entry.match == target:
                 del self._entries[i]
+                self.version += 1
+                key = _canonical_key(entry.match)
+                if key is not None:
+                    self._exact_index.pop(key, None)
+                elif entry in self._unindexed:
+                    self._unindexed.remove(entry)
                 return True
         return False
 
     def clear(self) -> None:
         """Remove every installed entry."""
         self._entries.clear()
+        self._exact_index.clear()
+        self._unindexed.clear()
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -187,8 +241,25 @@ class MatchActionTable:
         a miss), and returns whether the lookup hit.
         """
         ctx.charge(1)
-        key = {f: ctx.metadata.get(f) for f in self.match_fields}
-        entry = self.lookup(key)
+        metadata = ctx.metadata
+        if self.match_kind == "exact":
+            # Hot path: one dict probe against the canonical key; no
+            # intermediate lookup dictionary is built.
+            field = self._single_field
+            try:
+                if field is not None:
+                    entry = self._exact_index.get(((field, metadata.get(field)),))
+                else:
+                    entry = self._exact_index.get(
+                        tuple((f, metadata.get(f)) for f in self._sorted_fields)
+                    )
+            except TypeError:  # unhashable metadata value
+                entry = None
+            if entry is None and self._unindexed:
+                entry = self._scan_exact({f: metadata.get(f) for f in self.match_fields})
+        else:
+            key = {f: metadata.get(f) for f in self.match_fields}
+            entry = self.lookup(key)
         if entry is None:
             self.miss_count += 1
             self.default_action(ctx)
@@ -213,6 +284,16 @@ class MatchActionTable:
         return spec(**rule.params_dict())
 
     def _find_exact(self, key: dict[str, Any]) -> TableEntry | None:
+        canonical = _canonical_key(key)
+        if canonical is not None:
+            entry = self._exact_index.get(canonical)
+            if entry is not None:
+                return entry
+            if not self._unindexed:
+                return None
+        return self._scan_exact(key)
+
+    def _scan_exact(self, key: dict[str, Any]) -> TableEntry | None:
         for entry in self._entries:
             if entry.match == key:
                 return entry

@@ -28,6 +28,13 @@ from repro.experiments.figure_loss_sweep import (
     LossSweepSettings,
     run_loss_sweep,
 )
+from repro.experiments.figure_scale import (
+    ScaleResult,
+    ScaleRun,
+    ScaleSettings,
+    run_scale,
+    run_scale_once,
+)
 
 __all__ = [
     "Figure1GraphResult",
@@ -45,4 +52,9 @@ __all__ = [
     "LossSweepRun",
     "LossSweepSettings",
     "run_loss_sweep",
+    "ScaleResult",
+    "ScaleRun",
+    "ScaleSettings",
+    "run_scale",
+    "run_scale_once",
 ]

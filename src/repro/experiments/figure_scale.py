@@ -1,0 +1,273 @@
+"""Cluster-scale scenario: in-network aggregation from 16 to 256 workers.
+
+The paper's pitch is that in-network aggregation pays off at rack and cluster
+scale, yet its evaluation (and this reproduction's other figures) runs a
+dozen workers behind one switch. This experiment sweeps the worker count up
+to 256 on multi-switch fabrics — a two-tier leaf-spine by default, a k-ary
+fat-tree optionally — with lossy host uplinks and the PR 1 reliability layer
+enabled, and checks that every run still produces the bit-exact aggregate.
+
+These scenarios were previously infeasible in reasonable wall-clock time;
+the fast-path simulator core (see ``src/repro/netsim/README.md``) makes them
+routine, and the report includes the measured events/sec so scale runs double
+as a coarse perf canary.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.core.errors import ReproError
+from repro.core.functions import SUM, aggregate_pairs
+from repro.netsim.devices import Host
+from repro.netsim.simulator import SimulatorConfig
+from repro.netsim.topology import Topology, fat_tree, leaf_spine
+
+#: Worker counts swept by the paper-scale run.
+DEFAULT_WORKER_COUNTS = (16, 64, 128, 256)
+
+
+@dataclass
+class ScaleSettings:
+    """Scale and protocol knobs for the cluster-scale sweep."""
+
+    worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS
+    #: ``"leaf_spine"`` (default) or ``"fat_tree"``.
+    fabric: str = "leaf_spine"
+    #: Leaf-spine dimensioning (ignored for fat-tree).
+    workers_per_leaf: int = 16
+    spines: int = 4
+    #: Fat-tree arity; hosts = k^3/4 must cover workers + 1 reducer.
+    fat_tree_k: int = 8
+    #: Per-direction drop probability on every host uplink.
+    loss_rate: float = 0.001
+    #: Wordcount-shaped workload per worker.
+    pairs_per_worker: int = 400
+    vocabulary_size: int = 4_000
+    register_slots: int = 16 * 1024
+    pairs_per_packet: int = 10
+    retransmit_timeout: float = 1e-4
+    ack_window: int = 8
+    max_retransmits: int = 30
+    loss_seed: int = 17
+    seed: int = 2017
+
+    def quick(self) -> "ScaleSettings":
+        """A fast variant used by unit tests and smoke runs."""
+        return ScaleSettings(
+            worker_counts=(8, 16),
+            fabric=self.fabric,
+            workers_per_leaf=4,
+            spines=2,
+            fat_tree_k=4,
+            loss_rate=self.loss_rate,
+            pairs_per_worker=120,
+            vocabulary_size=300,
+            register_slots=1024,
+            pairs_per_packet=self.pairs_per_packet,
+            retransmit_timeout=self.retransmit_timeout,
+            ack_window=self.ack_window,
+            max_retransmits=self.max_retransmits,
+            loss_seed=self.loss_seed,
+            seed=self.seed,
+        )
+
+    def daiet_config(self) -> DaietConfig:
+        """The DAIET configuration implied by these settings."""
+        return DaietConfig(
+            register_slots=self.register_slots,
+            pairs_per_packet=self.pairs_per_packet,
+            reliability=True,
+            retransmit_timeout=self.retransmit_timeout,
+            ack_window=self.ack_window,
+            max_retransmits=self.max_retransmits,
+        )
+
+
+@dataclass
+class ScaleRun:
+    """Measurements of one (fabric, worker count) run."""
+
+    workers: int
+    fabric: str
+    switches: int
+    hosts: int
+    exact: bool
+    events: int
+    wall_seconds: float
+    events_per_sec: float
+    link_packets: int
+    link_bytes: int
+    losses: int
+    retransmissions: int
+    duplicates_filtered: int
+    sim_seconds: float
+
+
+@dataclass
+class ScaleResult:
+    """All runs of the sweep plus the rendered report."""
+
+    settings: ScaleSettings
+    runs: list[ScaleRun] = field(default_factory=list)
+    report: str = ""
+
+    @property
+    def all_exact(self) -> bool:
+        """True when every run reproduced the lossless ground truth."""
+        return all(run.exact for run in self.runs)
+
+    def run_at(self, workers: int) -> ScaleRun:
+        """The run for one swept worker count."""
+        for run in self.runs:
+            if run.workers == workers:
+                return run
+        raise ReproError(f"no scale run with {workers} workers")
+
+
+# ---------------------------------------------------------------------- #
+# Topology and workload
+# ---------------------------------------------------------------------- #
+def _build_fabric(settings: ScaleSettings, num_workers: int) -> Topology:
+    """A multi-switch fabric with ``num_workers`` + 1 (reducer) hosts."""
+    num_hosts = num_workers + 1
+    if settings.fabric == "leaf_spine":
+        per_leaf = settings.workers_per_leaf
+        num_leaves = -(-num_hosts // per_leaf)  # ceil division
+        topo = leaf_spine(
+            num_leaves=num_leaves,
+            num_spines=settings.spines,
+            hosts_per_leaf=per_leaf,
+            host_prefix="h",
+        )
+    elif settings.fabric == "fat_tree":
+        k = settings.fat_tree_k
+        while (k**3) // 4 < num_hosts:
+            k += 2
+        topo = fat_tree(k)
+    else:
+        raise ReproError(f"unknown fabric {settings.fabric!r}")
+    if settings.loss_rate:
+        for link in topo.links:
+            if isinstance(topo.get(link.a.device), Host) or isinstance(
+                topo.get(link.b.device), Host
+            ):
+                link.loss_rate = settings.loss_rate
+    return topo
+
+
+def _worker_partitions(
+    settings: ScaleSettings, num_workers: int
+) -> list[list[tuple[str, int]]]:
+    """Deterministic wordcount-shaped map output, one partition per worker."""
+    rng = random.Random(settings.seed)
+    vocabulary = [f"word{i:05d}" for i in range(settings.vocabulary_size)]
+    return [
+        [(rng.choice(vocabulary), 1) for _ in range(settings.pairs_per_worker)]
+        for _ in range(num_workers)
+    ]
+
+
+# ---------------------------------------------------------------------- #
+# Runner
+# ---------------------------------------------------------------------- #
+def run_scale_once(settings: ScaleSettings, num_workers: int) -> ScaleRun:
+    """One reliability-on aggregation round with ``num_workers`` mappers."""
+    partitions = _worker_partitions(settings, num_workers)
+    truth = aggregate_pairs(
+        [pair for partition in partitions for pair in partition], SUM
+    )
+    topology = _build_fabric(settings, num_workers)
+    system = DaietSystem(
+        topology,
+        settings.daiet_config(),
+        SimulatorConfig(loss_seed=settings.loss_seed),
+    )
+    reducer = "h0"
+    mappers = [f"h{i}" for i in range(1, num_workers + 1)]
+    system.install_job(mappers=mappers, reducers=[reducer])
+    for mapper, pairs in zip(mappers, partitions):
+        system.send_pairs(mapper, reducer, pairs)
+
+    start = time.perf_counter()
+    events = system.run()
+    wall = time.perf_counter() - start
+
+    receiver = system.receiver(reducer)
+    exact = receiver.done and receiver.result() == truth
+    stats = system.simulator.stats
+    engine_counters = list(system.controller.tree_counters().values())
+    reliability = system.reliability_stats().values()
+    return ScaleRun(
+        workers=num_workers,
+        fabric=settings.fabric,
+        switches=len(topology.switches()),
+        hosts=len(topology.hosts()),
+        exact=exact,
+        events=events,
+        wall_seconds=wall,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+        link_packets=stats.total_link_packets(),
+        link_bytes=stats.total_link_bytes(),
+        losses=stats.total_losses(),
+        retransmissions=sum(s["retransmissions"] for s in reliability)
+        + sum(c.retransmitted_packets for c in engine_counters),
+        duplicates_filtered=sum(c.duplicate_packets for c in engine_counters),
+        sim_seconds=system.simulator.now,
+    )
+
+
+def run_scale(settings: ScaleSettings | None = None) -> ScaleResult:
+    """Sweep the worker counts and render the scale report."""
+    settings = settings or ScaleSettings()
+    result = ScaleResult(settings=settings)
+    for num_workers in settings.worker_counts:
+        run = run_scale_once(settings, num_workers)
+        if not run.exact:
+            raise ReproError(
+                f"the {num_workers}-worker {settings.fabric} run diverged from "
+                "the lossless ground truth"
+            )
+        result.runs.append(run)
+    result.report = _render_report(result)
+    return result
+
+
+def _render_report(result: ScaleResult) -> str:
+    settings = result.settings
+    lines = [
+        "Cluster-scale aggregation sweep (reliability on, lossy host uplinks)",
+        "",
+        f"Fabric: {settings.fabric}; loss {settings.loss_rate:.2%} per direction "
+        f"on every host uplink; {settings.pairs_per_worker} pairs/worker over a "
+        f"{settings.vocabulary_size}-word vocabulary.",
+        "Every run is checked bit-exact against the lossless ground truth.",
+        "",
+    ]
+    header = (
+        f"{'workers':>8s} {'switches':>9s} {'exact':>6s} {'events':>9s} "
+        f"{'wall-s':>8s} {'events/s':>10s} {'link-pkts':>10s} {'losses':>7s} "
+        f"{'retrans':>8s} {'sim-ms':>8s}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for run in result.runs:
+        lines.append(
+            f"{run.workers:>8d} {run.switches:>9d} "
+            f"{'yes' if run.exact else 'NO':>6s} {run.events:>9d} "
+            f"{run.wall_seconds:>8.2f} {run.events_per_sec:>10,.0f} "
+            f"{run.link_packets:>10d} {run.losses:>7d} "
+            f"{run.retransmissions:>8d} {run.sim_seconds * 1e3:>8.2f}"
+        )
+    lines.append("")
+    verdict = (
+        "all runs bit-identical to the lossless ground truth"
+        if result.all_exact
+        else "SOME RUNS DIVERGED FROM GROUND TRUTH"
+    )
+    lines.append(f"Verdict: {verdict}.")
+    return "\n".join(lines)

@@ -9,12 +9,13 @@ packets to a registered application receiver; switch devices wrap a
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable
 
-from repro.core.errors import TopologyError
+from repro.core.errors import PipelineError, TopologyError
+from repro.core.packet import DaietAck, DaietPacket, DaietPacketType
 from repro.dataplane.actions import ForwardAction, PacketContext
-from repro.dataplane.switch import ProgrammableSwitch
+from repro.dataplane.switch import ProgrammableSwitch, _packet_bytes as _switch_packet_bytes
 from repro.dataplane.tables import MatchActionTable
 
 #: Signature of an application-level packet receiver installed on a host.
@@ -26,8 +27,11 @@ FORWARDING_TABLE = "l3_forward"
 #: Name of the DAIET steering table installed on every switch (matched on tree id).
 DAIET_TABLE = "daiet_steer"
 
+#: Hoisted enum member for the fast-path DATA/END dispatch.
+_DAIET_DATA = DaietPacketType.DATA
 
-@dataclass
+
+@dataclass(slots=True)
 class HostCounters:
     """Traffic counters observed at a host NIC."""
 
@@ -72,18 +76,30 @@ class Host(Device):
         self._receiver = receiver
 
     def handle_packet(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
-        self.counters.packets_received += 1
-        self.counters.bytes_received += packet_wire_bytes(packet)
+        self.deliver(packet, packet_wire_bytes(packet))
+        return []
+
+    def deliver(self, packet: Any, nbytes: int) -> None:
+        """Deliver one packet whose wire size was already computed.
+
+        The simulator's fast path: the packet's serialized size is computed
+        once on injection and threaded through every hop, so delivery does
+        not re-derive it.
+        """
+        counters = self.counters
+        counters.packets_received += 1
+        counters.bytes_received += nbytes
         if self.record_packets:
             self.received_packets.append(packet)
         if self._receiver is not None:
             self._receiver(packet)
-        return []
 
-    def note_sent(self, packet: Any) -> None:
+    def note_sent(self, packet: Any, nbytes: int | None = None) -> None:
         """Account a packet handed to the simulator for transmission."""
         self.counters.packets_sent += 1
-        self.counters.bytes_sent += packet_wire_bytes(packet)
+        self.counters.bytes_sent += (
+            nbytes if nbytes is not None else packet_wire_bytes(packet)
+        )
 
 
 class SwitchDevice(Device):
@@ -97,11 +113,23 @@ class SwitchDevice(Device):
       aggregation extern.
     * ``l3_forward`` — exact match on ``dst``; the routing module installs one
       entry per reachable host.
+
+    Because this shape is fixed, :meth:`deliver` runs a *compiled* fast path
+    for DAIET traffic: when the pipeline is verifiably still in its standard
+    form, it performs exactly the counter updates, parse charges and
+    emissions the generic pipeline would, without building the per-packet
+    context/metadata machinery. Any deviation (extra stages or steps, a
+    non-standard steering action, an oversized op charge) falls back to the
+    generic :meth:`ProgrammableSwitch.receive`.
     """
 
     def __init__(self, name: str, num_ports: int = 64, switch: ProgrammableSwitch | None = None) -> None:
         super().__init__(name)
         self.switch = switch or ProgrammableSwitch(name=name, num_ports=num_ports)
+        #: tree_id -> (table version, engine-or-None); revalidated against
+        #: the steering table's mutation counter, so rule changes invalidate
+        #: the memo naturally.
+        self._fast_cache: dict[int, tuple[int, Any]] = {}
         self._build_standard_pipeline()
 
     def _build_standard_pipeline(self) -> None:
@@ -118,6 +146,16 @@ class SwitchDevice(Device):
         forward_table.register_action("forward", ForwardAction)
         forward_stage.add_table(forward_table)
 
+        self._daiet_tbl = daiet_table
+        self._fwd_tbl = forward_table
+        # Bound hot references (none of these objects is ever replaced on a
+        # ProgrammableSwitch instance).
+        self._sw_counters = self.switch.counters
+        self._sw_parser = self.switch.parser
+        self._sw_pipeline = self.switch.pipeline
+        self._max_ops = self.switch.resources.max_ops_per_packet
+        self._max_parse = self.switch.resources.max_parse_bytes
+
     @property
     def daiet_table(self) -> MatchActionTable:
         """The DAIET steering table."""
@@ -130,6 +168,118 @@ class SwitchDevice(Device):
 
     def handle_packet(self, packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
         return self.switch.receive(packet, ingress_port)
+
+    # ------------------------------------------------------------------ #
+    # Compiled fast path
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _steering_engine(entry: Any) -> Any:
+        """The aggregation engine a steering entry dispatches to, or ``None``.
+
+        ``None`` means the entry is not the standard aggregate action and the
+        packet must go through the generic pipeline.
+        """
+        from repro.core.aggregation import DaietAggregationEngine
+        from repro.dataplane.actions import CallableAction
+
+        action = entry.action
+        if type(action) is CallableAction and action.cost == 1:
+            func = action.func
+            if getattr(func, "__func__", None) is DaietAggregationEngine.pipeline_action:
+                return func.__self__
+        return None
+
+    def deliver(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
+        """Process one packet whose wire size is already known.
+
+        DAIET packets and ACKs matching an installed steering rule take the
+        compiled fast path; everything else (and every non-standard pipeline
+        configuration) is handled by the generic pipeline. Both paths produce
+        identical emissions and identical counter/parse-budget effects.
+        """
+        switch = self.switch
+        packet_type = type(packet)
+        if packet_type is DaietPacket or packet_type is DaietAck:
+            # Shape guard: verify the pipeline is still the standard three
+            # single-step stages before trusting the fast path.
+            stages = self._sw_pipeline._stages
+            if len(stages) != 3:
+                return switch.receive(packet, ingress_port, nbytes)
+            s0, s1, s2 = stages
+            if not (
+                len(s0.steps) == 1
+                and s0.steps[0] is _extract_packet_metadata
+                and len(s1.steps) == 1
+                and s1.steps[0] is self._daiet_tbl
+                and len(s2.steps) == 1
+                and s2.steps[0] is self._fwd_tbl
+            ):
+                return switch.receive(packet, ingress_port, nbytes)
+            tree_id = packet.tree_id
+            table = self._daiet_tbl
+            # Steering resolution, memoized against the table's mutation
+            # version: one dict probe + one int compare on the hot path.
+            cached = self._fast_cache.get(tree_id)
+            if cached is not None and cached[0] == table.version:
+                engine = cached[1]
+            else:
+                entry = table._exact_index.get((("tree_id", tree_id),))
+                engine = self._steering_engine(entry) if entry is not None else None
+                self._fast_cache[tree_id] = (table.version, engine)
+            if engine is not None:
+                # Total op charge the generic path would make: extract
+                # extern (1) + table (1) + action cost (1) + the extern's
+                # own per-pair charge.
+                if packet_type is DaietPacket:
+                    npairs = len(packet.pairs)
+                    charge = 3 + (npairs if npairs > 1 else 1)
+                else:
+                    charge = 4
+                if charge <= self._max_ops:
+                    if not 0 <= ingress_port < switch.num_ports:
+                        raise PipelineError(
+                            f"ingress port {ingress_port} out of range for "
+                            f"switch {switch.name!r}"
+                        )
+                    counters = self._sw_counters
+                    counters.packets_in += 1
+                    counters.bytes_in += nbytes
+                    # parser.charge, inlined for the in-budget case.
+                    parsed = packet.parse_depth_bytes()
+                    if parsed <= self._max_parse:
+                        parser = self._sw_parser
+                        parser.packets_parsed += 1
+                        parser.bytes_parsed += parsed
+                    else:
+                        self._sw_parser.charge(packet)  # raises the exact error
+                    self._sw_pipeline.packets_processed += 1
+                    table.hit_count += 1
+                    # DaietAggregationEngine.handle_packet, inlined.
+                    state = engine._trees.get(tree_id)
+                    if state is None:
+                        out = (
+                            engine.handle_packet(packet)
+                            if packet_type is DaietPacket
+                            else engine.handle_ack(packet)
+                        )
+                    elif packet_type is DaietPacket:
+                        state.counters.packets_received += 1
+                        if packet.packet_type is _DAIET_DATA:
+                            out = engine._process_data(state, packet)
+                        else:
+                            out = engine._process_end(state, packet)
+                    else:
+                        out = engine.handle_ack(packet)
+                    if out:
+                        n_out = len(out)
+                        counters.packets_generated += n_out
+                        counters.packets_out += n_out
+                        for _port, out_packet in out:
+                            counters.bytes_out += _switch_packet_bytes(
+                                out_packet, counters
+                            )
+                    return out
+        return switch.receive(packet, ingress_port, nbytes)
 
 
 def packet_wire_bytes(packet: Any) -> int:
@@ -149,10 +299,19 @@ def _extract_packet_metadata(ctx: PacketContext) -> None:
     """Copy addressing fields from the packet into pipeline metadata.
 
     This plays the role of the P4 parser writing extracted header fields into
-    the metadata struct consumed by the match-action tables.
+    the metadata struct consumed by the match-action tables. DAIET packets —
+    the dominant traffic — take a direct-attribute path; anything else goes
+    through the generic ``getattr`` probes.
     """
     packet = ctx.packet
-    ctx.metadata["dst"] = getattr(packet, "dst", None)
-    ctx.metadata["src"] = getattr(packet, "src", None)
-    ctx.metadata["tree_id"] = getattr(packet, "tree_id", None)
-    ctx.metadata["packet_type"] = getattr(packet, "packet_type", None)
+    metadata = ctx.metadata
+    if type(packet) is DaietPacket:
+        metadata["dst"] = packet.dst
+        metadata["src"] = packet.src
+        metadata["tree_id"] = packet.tree_id
+        metadata["packet_type"] = packet.packet_type
+        return
+    metadata["dst"] = getattr(packet, "dst", None)
+    metadata["src"] = getattr(packet, "src", None)
+    metadata["tree_id"] = getattr(packet, "tree_id", None)
+    metadata["packet_type"] = getattr(packet, "packet_type", None)

@@ -1,45 +1,77 @@
 """Discrete-event engine used by the network simulator.
 
-A minimal but complete event scheduler: events carry a timestamp, a strictly
-increasing sequence number (to make ordering deterministic for simultaneous
-events) and a callback. The simulator drains the queue in timestamp order.
+A minimal but complete event scheduler built for throughput: the heap holds
+plain ``(time, seq, callback, args)`` tuples (tuple comparison short-circuits
+on the ``(time, seq)`` prefix, so callbacks never take part in ordering and
+identical timestamps never raise ``TypeError``), and cancellation is tracked
+in a side set of sequence numbers instead of per-event flag objects.
+
+Cancelled entries are removed lazily: they are skipped when they surface at
+the top of the heap, and the whole queue is compacted once more than half of
+it is cancelled litter (restartable :class:`Timer` objects, as used by the
+reliability layer's retransmission timers, re-arm constantly and would
+otherwise grow the heap without bound). ``len(scheduler)`` is O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
-from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.errors import SimulationError
 
+#: Compaction is considered once the cancellation set grows past this size
+#: (tiny queues are not worth rebuilding).
+_COMPACT_MIN_CANCELLED = 64
 
-@dataclass(order=True)
+
 class Event:
-    """A scheduled callback.
+    """Handle to a scheduled callback, supporting cancellation.
 
-    Ordering is by ``(time, seq)``; the callback and payload do not take part
-    in comparisons so that identical timestamps never raise ``TypeError``.
+    The handle is deliberately detached from the heap entry: cancelling adds
+    the entry's sequence number to the scheduler's cancellation set, and the
+    scheduler drops the entry lazily when it surfaces (or during compaction).
     """
 
-    time: float
-    seq: int
-    callback: Callable[..., None] = field(compare=False)
-    args: tuple[Any, ...] = field(compare=False, default=())
-    cancelled: bool = field(compare=False, default=False)
+    __slots__ = ("time", "seq", "_scheduler", "_cancelled")
+
+    def __init__(self, scheduler: "EventScheduler", time: float, seq: int) -> None:
+        self.time = time
+        self.seq = seq
+        self._scheduler = scheduler
+        self._cancelled = False
+
+    @property
+    def cancelled(self) -> bool:
+        """True once :meth:`cancel` has been called."""
+        return self._cancelled
 
     def cancel(self) -> None:
         """Mark the event so the scheduler skips it when it comes due."""
-        self.cancelled = True
+        if not self._cancelled:
+            self._cancelled = True
+            self._scheduler._cancel(self.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        state = "cancelled" if self._cancelled else "pending"
+        return f"Event(time={self.time!r}, seq={self.seq}, {state})"
 
 
 class EventScheduler:
     """A deterministic priority-queue event scheduler."""
 
     def __init__(self) -> None:
-        self._queue: list[Event] = []
-        self._counter = itertools.count()
+        #: Heap of ``(time, seq, callback, args)`` tuples.
+        self._queue: list[tuple[float, int, Callable[..., None], tuple[Any, ...]]] = []
+        #: Sequence numbers of cancelled-but-not-yet-removed heap entries.
+        self._cancelled: set[int] = set()
+        #: Sequence numbers of handle-carrying (cancellable) entries still in
+        #: the heap. Lets ``_cancel`` ignore a late cancel of an event that
+        #: already executed instead of poisoning the cancellation set (which
+        #: would skew ``__len__``). Hot-path ``push_at`` events never enter
+        #: this set, so the per-pop discard below is usually a no-op.
+        self._pending_handles: set[int] = set()
+        self._seq = 0
         self.now = 0.0
         self.events_executed = 0
 
@@ -52,9 +84,12 @@ class EventScheduler:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
-        event = Event(time=self.now + delay, seq=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
-        return event
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+        self._pending_handles.add(seq)
+        return Event(self, time, seq)
 
     def schedule_at(
         self,
@@ -67,27 +102,81 @@ class EventScheduler:
             raise SimulationError(
                 f"cannot schedule an event at {time} (current time {self.now})"
             )
-        event = Event(time=time, seq=next(self._counter), callback=callback, args=args)
-        heapq.heappush(self._queue, event)
-        return event
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+        self._pending_handles.add(seq)
+        return Event(self, time, seq)
+
+    def push_at(self, time: float, callback: Callable[..., None], args: tuple[Any, ...]) -> None:
+        """Hot-path schedule: absolute time, no cancellation handle.
+
+        The simulator's per-packet transmissions never cancel, so skipping the
+        handle allocation (and the delay validation already done by the
+        caller) is free throughput. ``time`` must not lie in the past.
+
+        ``NetworkSimulator._transmit`` inlines this push; any change to the
+        heap entry shape or sequence handling must be mirrored there.
+        """
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (time, seq, callback, args))
+
+    def _cancel(self, seq: int) -> None:
+        """Record one cancelled heap entry; compact when litter dominates.
+
+        Cancelling an event that already executed (or was already removed)
+        is a harmless no-op, exactly like the old per-event flag.
+        """
+        pending = self._pending_handles
+        if seq not in pending:
+            return
+        pending.discard(seq)
+        cancelled = self._cancelled
+        cancelled.add(seq)
+        if len(cancelled) >= _COMPACT_MIN_CANCELLED and 2 * len(cancelled) > len(self._queue):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify (amortized O(n)).
+
+        The queue list and cancellation set are mutated *in place* so that
+        local aliases held by a running ``run()`` loop stay valid.
+        """
+        cancelled = self._cancelled
+        queue = self._queue
+        queue[:] = [entry for entry in queue if entry[1] not in cancelled]
+        heapq.heapify(queue)
+        cancelled.clear()
 
     def __len__(self) -> int:
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of pending (non-cancelled) events; O(1)."""
+        return len(self._queue) - len(self._cancelled)
 
     def peek_time(self) -> float | None:
         """Timestamp of the next pending event, or ``None`` when idle."""
-        while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
-        return self._queue[0].time if self._queue else None
+        queue = self._queue
+        cancelled = self._cancelled
+        while queue and queue[0][1] in cancelled:
+            cancelled.discard(queue[0][1])
+            heapq.heappop(queue)
+        return queue[0][0] if queue else None
 
     def step(self) -> bool:
         """Execute the next pending event; returns ``False`` when idle."""
-        while self._queue:
-            event = heapq.heappop(self._queue)
-            if event.cancelled:
+        queue = self._queue
+        cancelled = self._cancelled
+        pending = self._pending_handles
+        pop = heapq.heappop
+        while queue:
+            time, seq, callback, args = pop(queue)
+            if seq in cancelled:
+                cancelled.discard(seq)
                 continue
-            self.now = event.time
-            event.callback(*event.args)
+            if pending:
+                pending.discard(seq)
+            self.now = time
+            callback(*args)
             self.events_executed += 1
             return True
         return False
@@ -108,24 +197,54 @@ class EventScheduler:
             Number of events executed by this call.
         """
         executed = 0
-        while True:
-            if max_events is not None and executed >= max_events:
-                break
-            next_time = self.peek_time()
-            if next_time is None:
-                break
-            if until is not None and next_time > until:
-                break
-            if not self.step():
-                break
-            executed += 1
-        if until is not None and until > self.now:
+        queue = self._queue
+        cancelled = self._cancelled
+        pending = self._pending_handles
+        pop = heapq.heappop
+        bounded = max_events is not None
+        timed = until is not None
+        try:
+            while queue:
+                if bounded and executed >= max_events:
+                    break
+                if timed or cancelled:
+                    # Peek before popping: the head may be beyond ``until``
+                    # or cancelled litter to be discarded.
+                    entry = queue[0]
+                    if cancelled and entry[1] in cancelled:
+                        cancelled.discard(entry[1])
+                        pop(queue)
+                        continue
+                    if timed and entry[0] > until:
+                        break
+                    pop(queue)
+                    time, seq, callback, args = entry
+                else:
+                    # Hot path: nothing to filter, pop straight away.
+                    time, seq, callback, args = pop(queue)
+                if pending:
+                    # Executing a handle-carrying event: a later cancel()
+                    # of its handle must be a no-op, not heap litter.
+                    pending.discard(seq)
+                self.now = time
+                callback(*args)
+                executed += 1
+                # Local aliases stay valid across callbacks: compaction
+                # mutates the queue and cancellation set in place, never
+                # rebinds them.
+        finally:
+            # The counter is batched per run() rather than per event; the
+            # finally block keeps it accurate if a callback raises.
+            self.events_executed += executed
+        if timed and until > self.now:
             self.now = until
         return executed
 
     def reset(self) -> None:
         """Discard all pending events and rewind the clock."""
         self._queue.clear()
+        self._cancelled.clear()
+        self._pending_handles.clear()
         self.now = 0.0
         self.events_executed = 0
 
@@ -136,7 +255,9 @@ class Timer:
     The reliability layer uses these as retransmission and delayed-ACK
     timers: ``start`` (re)arms the timer, ``cancel`` disarms it, and the
     callback runs at most once per arming. Restarting an armed timer cancels
-    the previous deadline, so only the latest one fires.
+    the previous deadline, so only the latest one fires. Cancelled deadlines
+    are cleaned out of the scheduler's heap by its lazy compaction, so
+    constant re-arming does not grow the queue without bound.
     """
 
     def __init__(self, scheduler: EventScheduler, callback: Callable[[], None]) -> None:

@@ -11,14 +11,15 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from heapq import heappush
 from typing import Any
 
 from repro.core.errors import SimulationError, TopologyError
 from repro.netsim.devices import Device, Host, SwitchDevice, packet_wire_bytes
 from repro.netsim.events import Event, EventScheduler, Timer
-from repro.netsim.links import Link
+from repro.netsim.links import DirectionCounters, Link
 from repro.netsim.routing import RoutingState, compute_routes, install_forwarding_rules
-from repro.netsim.stats import TrafficStats
+from repro.netsim.stats import PerDeviceTraffic, TrafficStats
 from repro.netsim.topology import Topology
 
 
@@ -46,6 +47,22 @@ class NetworkSimulator:
         self.stats = TrafficStats()
         self.routes: RoutingState | None = None
         self._port_links: dict[str, dict[int, Link]] = {}
+        #: Hot-path lookup: device -> port -> (link, link name, delivery
+        #: callback, delivery target, neighbour port, per-direction byte
+        #: counters, busy key). Everything static about a hop — including
+        #: which specialized delivery routine the far end needs — is
+        #: resolved once here instead of on every transmission.
+        self._port_info: dict[
+            str,
+            dict[int, tuple[Link, str, Any, Any, int, DirectionCounters, tuple[str, str]]],
+        ] = {}
+        #: Direct reference to the topology's device table (hot-path lookup).
+        self._devices = topology.devices
+        #: Bound references to the hot stats tables. ``TrafficStats.reset``
+        #: clears these dicts in place, so the bindings stay valid.
+        self._link_stats = self.stats.link_traffic
+        self._host_recv_stats = self.stats.host_received
+        self._switch_stats = self.stats.switch_traffic
         #: Per-direction link occupancy: (link name, sender) -> time the link
         #: becomes free. Transmissions on the same direction are serialized so
         #: packets cannot overtake each other (FIFO links).
@@ -58,9 +75,33 @@ class NetworkSimulator:
     def _build_port_maps(self) -> None:
         for name in self.topology.devices:
             self._port_links[name] = {}
+            self._port_info[name] = {}
         for link in self.topology.links:
-            self._port_links[link.a.device][link.a.port] = link
-            self._port_links[link.b.device][link.b.port] = link
+            for end, other in ((link.a, link.b), (link.b, link.a)):
+                self._port_links[end.device][end.port] = link
+                # The delivery callback is specialized per receiver type at
+                # build time, so per-packet delivery needs no device lookup
+                # or type dispatch. Subclassed devices use the generic path.
+                device = self.topology.devices[other.device]
+                device_type = type(device)
+                if device_type is Host:
+                    callback = self._deliver_to_host
+                    target: Any = device
+                elif device_type is SwitchDevice:
+                    callback = self._deliver_to_switch
+                    target = device
+                else:
+                    callback = self._deliver
+                    target = other.device
+                self._port_info[end.device][end.port] = (
+                    link,
+                    link.name,
+                    callback,
+                    target,
+                    other.port,
+                    link.counters(end.device),
+                    (link.name, end.device),
+                )
 
     # ------------------------------------------------------------------ #
     # Control plane
@@ -75,54 +116,135 @@ class NetworkSimulator:
     # ------------------------------------------------------------------ #
     def send(self, src_host: str, packet: Any, delay: float = 0.0) -> None:
         """Inject a packet from a host NIC into the network."""
-        device = self.topology.get(src_host)
+        device = self._devices.get(src_host)
+        if device is None:
+            raise TopologyError(f"unknown device {src_host!r}")
         if not isinstance(device, Host):
             raise SimulationError(f"send() source {src_host!r} is not a host")
-        ports = self._port_links.get(src_host, {})
-        if 0 not in ports:
+        if 0 not in self._port_info[src_host]:
             raise TopologyError(f"host {src_host!r} has no uplink")
-        device.note_sent(packet)
-        self.stats.record_host_sent(src_host, packet_wire_bytes(packet))
-        self.scheduler.schedule(delay, self._transmit, src_host, 0, packet)
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        # The wire size is computed once here and threaded through every hop
+        # (``_transmit``/``_deliver`` below) instead of being re-derived 3-5
+        # times per hop as before.
+        nbytes = packet_wire_bytes(packet)
+        device.note_sent(packet, nbytes)
+        self.stats.record_host_sent(src_host, nbytes)
+        self.scheduler.push_at(
+            self.scheduler.now + delay, self._transmit, (src_host, 0, packet, nbytes)
+        )
 
-    def _transmit(self, from_device: str, egress_port: int, packet: Any) -> None:
+    def _transmit(self, from_device: str, egress_port: int, packet: Any, nbytes: int) -> None:
         """Put a packet on the link attached to ``(from_device, egress_port)``."""
-        ports = self._port_links.get(from_device, {})
-        link = ports.get(egress_port)
-        if link is None:
+        info = self._port_info[from_device].get(egress_port)
+        if info is None:
             # Transmissions towards unconnected ports are counted as drops.
             self.stats.record_drop(from_device)
             return
-        nbytes = packet_wire_bytes(packet)
-        link.record_transmission(from_device, nbytes)
-        self.stats.record_link(link.name, nbytes)
+        link, link_name, callback, target, other_port, direction, busy_key = info
+        direction.packets += 1
+        direction.bytes += nbytes
+        # stats.record_link, inlined (one call per packet per hop).
+        link_traffic = self._link_stats
+        traffic = link_traffic.get(link_name)
+        if traffic is None:
+            traffic = link_traffic[link_name] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
         # Serialize transmissions per link direction (FIFO): a packet starts
         # transmitting only once the previous one has left the NIC. The busy
         # time is charged before the loss draw: a packet dropped in flight
         # still occupied the sender's NIC and the link for its serialization
         # time, so losses contribute to congestion like any other packet.
-        busy_key = (link.name, from_device)
-        start = max(self.scheduler.now, self._link_busy_until.get(busy_key, 0.0))
+        busy = self._link_busy_until
+        now = self.scheduler.now
+        start = busy.get(busy_key, 0.0)
+        if now > start:
+            start = now
         serialization = nbytes / link.bandwidth_bps
-        self._link_busy_until[busy_key] = start + serialization
+        busy[busy_key] = start + serialization
         if link.loss_rate > 0.0 and self._loss_rng.random() < link.loss_rate:
             # The packet is lost in flight: it never reaches the other end.
-            self.stats.record_loss(link.name)
+            self.stats.record_loss(link_name)
             return
-        other = link.other_end(from_device)
-        arrival = start + serialization + link.propagation_s
-        self.scheduler.schedule_at(arrival, self._deliver, other.device, other.port, packet)
+        # scheduler.push_at, inlined (one schedule per packet per hop).
+        scheduler = self.scheduler
+        seq = scheduler._seq
+        scheduler._seq = seq + 1
+        heappush(
+            scheduler._queue,
+            (
+                start + serialization + link.propagation_s,
+                seq,
+                callback,
+                (target, other_port, packet, nbytes),
+            ),
+        )
 
-    def _deliver(self, device_name: str, ingress_port: int, packet: Any) -> None:
-        device = self.topology.get(device_name)
-        nbytes = packet_wire_bytes(packet)
-        if isinstance(device, Host):
-            self.stats.record_host_received(device_name, nbytes)
-        elif isinstance(device, SwitchDevice):
-            self.stats.record_switch(device_name, nbytes)
-        outputs = device.handle_packet(packet, ingress_port)
+    def _deliver_to_host(self, host: Host, ingress_port: int, packet: Any, nbytes: int) -> None:
+        """Specialized delivery: the receiving device is a plain host."""
+        host_received = self._host_recv_stats
+        traffic = host_received.get(host.name)
+        if traffic is None:
+            traffic = host_received[host.name] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
+        host.deliver(packet, nbytes)
+
+    def _deliver_to_switch(
+        self, device: SwitchDevice, ingress_port: int, packet: Any, nbytes: int
+    ) -> None:
+        """Specialized delivery: the receiving device is a standard switch."""
+        switch_traffic = self._switch_stats
+        name = device.name
+        traffic = switch_traffic.get(name)
+        if traffic is None:
+            traffic = switch_traffic[name] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
+        outputs = device.deliver(packet, ingress_port, nbytes)
+        if outputs:
+            for egress_port, out_packet in outputs:
+                self._transmit(
+                    name, egress_port, out_packet, packet_wire_bytes(out_packet)
+                )
+
+    def _deliver(self, device_name: str, ingress_port: int, packet: Any, nbytes: int) -> None:
+        device = self._devices[device_name]
+        device_type = type(device)
+        if device_type is Host:
+            # Hosts never forward; deliver straight to the application.
+            # stats.record_host_received, inlined.
+            host_received = self._host_recv_stats
+            traffic = host_received.get(device_name)
+            if traffic is None:
+                traffic = host_received[device_name] = PerDeviceTraffic()
+            traffic.packets += 1
+            traffic.bytes += nbytes
+            device.deliver(packet, nbytes)
+            return
+        if device_type is SwitchDevice:
+            # Direct dispatch into the switch model, skipping the
+            # handle_packet wrapper and re-derived packet sizing.
+            # stats.record_switch, inlined.
+            switch_traffic = self._switch_stats
+            traffic = switch_traffic.get(device_name)
+            if traffic is None:
+                traffic = switch_traffic[device_name] = PerDeviceTraffic()
+            traffic.packets += 1
+            traffic.bytes += nbytes
+            outputs = device.deliver(packet, ingress_port, nbytes)
+        else:
+            if isinstance(device, Host):
+                self.stats.record_host_received(device_name, nbytes)
+            elif isinstance(device, SwitchDevice):
+                self.stats.record_switch(device_name, nbytes)
+            outputs = device.handle_packet(packet, ingress_port)
         for egress_port, out_packet in outputs:
-            self._transmit(device_name, egress_port, out_packet)
+            self._transmit(
+                device_name, egress_port, out_packet, packet_wire_bytes(out_packet)
+            )
 
     # ------------------------------------------------------------------ #
     # Execution

@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 
-@dataclass
+@dataclass(slots=True)
 class PerDeviceTraffic:
     """Packets/bytes observed at one device."""
 
@@ -27,7 +27,12 @@ class PerDeviceTraffic:
 
 @dataclass
 class TrafficStats:
-    """Counters keyed by device and link name."""
+    """Counters keyed by device and link name.
+
+    The ``record_*`` methods run once per packet per hop; they avoid the
+    ``setdefault(..., PerDeviceTraffic())`` idiom, which allocates a fresh
+    counter object on every call even when the key already exists.
+    """
 
     host_sent: dict[str, PerDeviceTraffic] = field(default_factory=dict)
     host_received: dict[str, PerDeviceTraffic] = field(default_factory=dict)
@@ -41,19 +46,35 @@ class TrafficStats:
     # ------------------------------------------------------------------ #
     def record_host_sent(self, host: str, nbytes: int) -> None:
         """Account a packet injected by a host."""
-        self.host_sent.setdefault(host, PerDeviceTraffic()).record(nbytes)
+        traffic = self.host_sent.get(host)
+        if traffic is None:
+            traffic = self.host_sent[host] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
 
     def record_host_received(self, host: str, nbytes: int) -> None:
         """Account a packet delivered to a host."""
-        self.host_received.setdefault(host, PerDeviceTraffic()).record(nbytes)
+        traffic = self.host_received.get(host)
+        if traffic is None:
+            traffic = self.host_received[host] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
 
     def record_switch(self, switch: str, nbytes: int) -> None:
         """Account a packet arriving at a switch."""
-        self.switch_traffic.setdefault(switch, PerDeviceTraffic()).record(nbytes)
+        traffic = self.switch_traffic.get(switch)
+        if traffic is None:
+            traffic = self.switch_traffic[switch] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
 
     def record_link(self, link_name: str, nbytes: int) -> None:
         """Account a packet transmitted over a link."""
-        self.link_traffic.setdefault(link_name, PerDeviceTraffic()).record(nbytes)
+        traffic = self.link_traffic.get(link_name)
+        if traffic is None:
+            traffic = self.link_traffic[link_name] = PerDeviceTraffic()
+        traffic.packets += 1
+        traffic.bytes += nbytes
 
     def record_drop(self, device: str) -> None:
         """Account a packet transmitted towards an unconnected port."""
@@ -107,6 +128,25 @@ class TrafficStats:
     def per_host_received(self) -> dict[str, PerDeviceTraffic]:
         """Copy of the per-host delivery counters."""
         return dict(self.host_received)
+
+    def snapshot(self) -> dict[str, dict[str, tuple[int, int] | int]]:
+        """Every counter as plain nested dictionaries.
+
+        Used by the determinism tests to compare two runs bit-for-bit: two
+        identical simulations must produce identical snapshots (including
+        insertion order, which reflects event order).
+        """
+        def _traffic(table: dict[str, PerDeviceTraffic]) -> dict[str, tuple[int, int]]:
+            return {name: (t.packets, t.bytes) for name, t in table.items()}
+
+        return {
+            "host_sent": _traffic(self.host_sent),
+            "host_received": _traffic(self.host_received),
+            "switch_traffic": _traffic(self.switch_traffic),
+            "link_traffic": _traffic(self.link_traffic),
+            "drops": dict(self.drops),
+            "losses": dict(self.losses),
+        }
 
     def reset(self) -> None:
         """Clear every counter."""

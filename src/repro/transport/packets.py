@@ -25,6 +25,19 @@ from repro.core.config import (
 )
 from repro.core.errors import TransportError
 
+#: Header size profiles are address-independent, so one shared tuple serves
+#: every datagram/segment (parser fast path; see ``HeaderParser.charge``).
+_UDP_HEADER_SIZES = (
+    ("ethernet", ETHERNET_HEADER_BYTES),
+    ("ipv4", IP_HEADER_BYTES),
+    ("udp", UDP_HEADER_BYTES),
+)
+_TCP_HEADER_SIZES = (
+    ("ethernet", ETHERNET_HEADER_BYTES),
+    ("ipv4", IP_HEADER_BYTES),
+    ("tcp", TCP_HEADER_BYTES),
+)
+
 
 @dataclass
 class UdpDatagram:
@@ -70,6 +83,14 @@ class UdpDatagram:
             ("udp", {"sport": self.sport, "dport": self.dport}, UDP_HEADER_BYTES),
         ]
 
+    def header_sizes(self) -> tuple[tuple[str, int], ...]:
+        """The ``(name, nbytes)`` parse profile (parser fast path)."""
+        return _UDP_HEADER_SIZES
+
+    def parse_depth_bytes(self) -> int:
+        """Total parseable bytes (the opaque payload is never parsed)."""
+        return ETHERNET_HEADER_BYTES + IP_HEADER_BYTES + UDP_HEADER_BYTES
+
 
 @dataclass
 class TcpSegment:
@@ -108,6 +129,14 @@ class TcpSegment:
             ("ipv4", {"src": self.src, "dst": self.dst}, IP_HEADER_BYTES),
             ("tcp", {"sport": self.sport, "dport": self.dport, "seq": self.seq}, TCP_HEADER_BYTES),
         ]
+
+    def header_sizes(self) -> tuple[tuple[str, int], ...]:
+        """The ``(name, nbytes)`` parse profile (parser fast path)."""
+        return _TCP_HEADER_SIZES
+
+    def parse_depth_bytes(self) -> int:
+        """Total parseable bytes (the opaque payload is never parsed)."""
+        return ETHERNET_HEADER_BYTES + IP_HEADER_BYTES + TCP_HEADER_BYTES
 
 
 @dataclass

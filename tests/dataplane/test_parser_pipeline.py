@@ -147,6 +147,18 @@ class TestPipeline:
         # The extracted dst is None for a plain object, so the rule matches.
         assert ctx.metadata["egress_port"] == 6
 
+    def test_in_place_step_replacement_recompiles(self):
+        # The compiled flat-op cache must notice a step being *replaced* in
+        # place (not just appended), or a stale extern would keep running.
+        pipeline = Pipeline()
+        stage = pipeline.add_stage("probe")
+        seen = []
+        stage.add_extern(lambda ctx: seen.append("old"))
+        pipeline.process(packet=None, ingress_port=0)
+        stage.steps[0] = lambda ctx: seen.append("new")
+        pipeline.process(packet=None, ingress_port=0)
+        assert seen == ["old", "new"]
+
 
 class TestPipelineOpBudget:
     def test_pathological_pipeline_exceeds_budget(self):

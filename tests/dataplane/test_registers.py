@@ -141,3 +141,38 @@ class TestSpilloverBucket:
         for key, value in pairs:
             bucket.store(key, value)
         assert bucket.flush() == pairs
+
+    def test_combine_merges_in_place_keeping_fifo_order(self):
+        bucket = SpilloverBucket(capacity=3)
+        add = lambda a, b: a + b  # noqa: E731
+        assert bucket.store("a", 1, add) is True
+        assert bucket.store("b", 2, add) is True
+        assert bucket.store("a", 10, add) is False  # merged, not appended
+        assert bucket.store("b", 20, add) is False
+        assert len(bucket) == 2
+        assert bucket.flush() == [("a", 11), ("b", 22)]
+
+    def test_combine_merges_into_first_slot_of_duplicates(self):
+        # Duplicates appended without ``combine`` keep the behaviour of the
+        # old front-to-back scan: a later merge lands in the *first* slot.
+        bucket = SpilloverBucket(capacity=4)
+        bucket.store("k", 1)
+        bucket.store("x", 5)
+        bucket.store("k", 2)
+        assert bucket.store("k", 10, lambda a, b: a + b) is False
+        assert bucket.flush() == [("k", 11), ("x", 5), ("k", 2)]
+
+    def test_slot_index_resets_after_flush(self):
+        bucket = SpilloverBucket(capacity=2)
+        add = lambda a, b: a + b  # noqa: E731
+        bucket.store("a", 1, add)
+        bucket.flush()
+        assert bucket.store("a", 7, add) is True  # fresh entry, not a merge
+        assert bucket.flush() == [("a", 7)]
+
+    def test_unhashable_keys_fall_back_to_linear_scan(self):
+        bucket = SpilloverBucket(capacity=3)
+        key = ["unhashable"]
+        assert bucket.store(key, 1, lambda a, b: a + b) is True
+        assert bucket.store(key, 2, lambda a, b: a + b) is False
+        assert bucket.flush() == [(key, 3)]

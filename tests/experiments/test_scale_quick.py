@@ -1,0 +1,48 @@
+"""Quick integration test for the cluster-scale sweep."""
+
+from __future__ import annotations
+
+from repro.experiments.figure_scale import ScaleSettings, run_scale, run_scale_once
+
+
+class TestScaleSweepQuick:
+    def test_quick_sweep_is_exact(self):
+        result = run_scale(ScaleSettings().quick())
+        assert result.all_exact
+        assert [run.workers for run in result.runs] == [8, 16]
+        for run in result.runs:
+            assert run.switches > 1  # multi-switch fabric, not a single rack
+            assert run.events > 0
+            assert run.link_packets > 0
+        assert "Verdict" in result.report
+
+    def test_fat_tree_fabric(self):
+        settings = ScaleSettings(
+            worker_counts=(8,),
+            fabric="fat_tree",
+            fat_tree_k=4,
+            pairs_per_worker=80,
+            vocabulary_size=200,
+            register_slots=512,
+        )
+        run = run_scale_once(settings, 8)
+        assert run.exact
+        assert run.fabric == "fat_tree"
+        # k=4 fat-tree: 4 core + 4 pods x (2 agg + 2 edge) = 20 switches.
+        assert run.switches == 20
+
+    def test_leaf_spine_run_reports_loss_recovery(self):
+        settings = ScaleSettings(
+            worker_counts=(16,),
+            workers_per_leaf=4,
+            spines=2,
+            loss_rate=0.02,
+            pairs_per_worker=150,
+            vocabulary_size=200,
+            register_slots=512,
+            loss_seed=3,
+        )
+        run = run_scale_once(settings, 16)
+        assert run.exact
+        assert run.losses > 0
+        assert run.retransmissions > 0
