@@ -100,18 +100,26 @@ def run_wordcount_macro(
     packets = stats.total_link_packets()
     receiver = system.receiver(reducer)
     exact = receiver.done and receiver.result() == truth
-    peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
-    # ru_maxrss is KiB on Linux, bytes on macOS.
-    peak_rss = peak_rss_kb * 1024 if sys.platform != "darwin" else peak_rss_kb
     return MacroBenchResult(
         events=events,
         packets=packets,
         wall_seconds=wall,
         events_per_sec=events / wall if wall > 0 else 0.0,
         packets_per_sec=packets / wall if wall > 0 else 0.0,
-        peak_rss_bytes=peak_rss,
+        peak_rss_bytes=peak_rss_bytes(),
         exact=exact,
     )
+
+
+def peak_rss_bytes() -> int:
+    """Peak resident-set size of this process, in bytes.
+
+    The single sampling point for every bench entry, so no harness path can
+    forget the KiB-vs-bytes platform difference (``ru_maxrss`` is KiB on
+    Linux, bytes on macOS) and record a bogus zero.
+    """
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    return peak * 1024 if sys.platform != "darwin" else peak
 
 
 def record_bench(name: str, result: MacroBenchResult, **extra: float) -> None:

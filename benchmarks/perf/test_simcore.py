@@ -5,15 +5,28 @@ simulator-bound WordCount shuffle defined in ``bench_common``) and records
 the trajectory in ``BENCH_simcore.json`` at the repo root, so every PR from
 this one onward can see whether the hot path got faster or slower.
 
-The assertions are deliberately generous — a run must be slower than HALF
-the seed-era throughput before the smoke test fails — so the gate catches
-order-of-magnitude regressions without flaking on loaded CI machines. The
-measured numbers (not the gate) are what track the trajectory.
+Every test here carries the ``perf`` marker (select with ``-m perf``, skip
+with ``-m "not perf"``). The assertions are deliberately generous — a run
+must be slower than HALF the recorded throughput before the smoke test
+fails — so the gate catches order-of-magnitude regressions without flaking
+on loaded CI machines. The measured numbers (not the gate) are what track
+the trajectory.
 """
 
 from __future__ import annotations
 
-from bench_common import MacroBenchResult, record_bench, run_wordcount_macro
+import time
+
+import pytest
+
+from bench_common import (
+    MacroBenchResult,
+    peak_rss_bytes,
+    record_bench,
+    run_wordcount_macro,
+)
+
+pytestmark = pytest.mark.perf
 
 #: Events/sec of the seed-era simulator core on the wordcount macro-bench,
 #: measured on the same class of machine that produced the current numbers
@@ -23,6 +36,13 @@ SEED_BASELINE_EVENTS_PER_SEC = 46_000
 #: Tier-1 smoke floor: half the seed-era throughput. Any real regression in
 #: the fast path shows up in BENCH_simcore.json long before tripping this.
 SMOKE_FLOOR_EVENTS_PER_SEC = SEED_BASELINE_EVENTS_PER_SEC / 2
+
+#: Events/sec of the 1024-worker leaf-spine round (reliability on, lossy
+#: uplinks) recorded when the scenario first became tier-1 viable; the smoke
+#: floor is half of it, same pattern as the macro-bench gate. (Loaded-suite
+#: runs measure ~40% below the idle-machine figure, still well clear.)
+SCALE_1024_BASELINE_EVENTS_PER_SEC = 78_000
+SCALE_1024_FLOOR_EVENTS_PER_SEC = SCALE_1024_BASELINE_EVENTS_PER_SEC / 2
 
 
 def _best_of(n: int, **kwargs) -> MacroBenchResult:
@@ -77,8 +97,6 @@ class TestSimulatorCoreThroughput:
 
     def test_scale_canary(self):
         """A 64-worker leaf-spine reliability round as a scale canary."""
-        import time
-
         from repro.experiments.figure_scale import ScaleSettings, run_scale_once
 
         settings = ScaleSettings()
@@ -96,9 +114,47 @@ class TestSimulatorCoreThroughput:
                 packets_per_sec=(
                     run.link_packets / run.wall_seconds if run.wall_seconds else 0.0
                 ),
-                peak_rss_bytes=0,
+                peak_rss_bytes=peak_rss_bytes(),
                 exact=run.exact,
             ),
         )
         # Generous: the full 64-worker round (setup included) stays under 30s.
         assert wall < 30.0
+
+    def test_scale_1024_bench(self):
+        """The cluster-scale headline: a 1024-worker reliability round.
+
+        One-BFS-per-destination routing, burst injection and the calendar
+        scheduler turned this from minutes of setup + simulation into a few
+        seconds end to end; the floor (half the recorded throughput) fails
+        fast on a real regression without flaking on machine noise.
+        """
+        from repro.experiments.figure_scale import ScaleSettings, run_scale_once
+
+        settings = ScaleSettings()
+        start = time.perf_counter()
+        run = run_scale_once(settings, 1024)
+        wall = time.perf_counter() - start
+        assert run.exact
+        record_bench(
+            "scale_1024_leaf_spine",
+            MacroBenchResult(
+                events=run.events,
+                packets=run.link_packets,
+                wall_seconds=run.wall_seconds,
+                events_per_sec=run.events_per_sec,
+                packets_per_sec=(
+                    run.link_packets / run.wall_seconds if run.wall_seconds else 0.0
+                ),
+                peak_rss_bytes=peak_rss_bytes(),
+                exact=run.exact,
+            ),
+            total_wall_seconds=wall,
+        )
+        print(
+            f"\nscale-1024 bench: {run.events_per_sec:,.0f} events/s, "
+            f"{wall:.1f}s end to end (setup included)"
+        )
+        assert run.events_per_sec >= SCALE_1024_FLOOR_EVENTS_PER_SEC
+        # End-to-end budget, setup included: far above any healthy run.
+        assert wall < 60.0

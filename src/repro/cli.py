@@ -5,9 +5,10 @@ Usage::
     python -m repro fig1a [--quick]
     python -m repro fig1b [--quick]
     python -m repro fig1c [--quick] [--vertices N]
-    python -m repro fig3  [--quick]
+    python -m repro fig3  [--quick] [--reliability]
     python -m repro loss-sweep [--quick]
     python -m repro scale [--quick] [--fabric leaf_spine|fat_tree]
+                          [--workers N] [--compare-baselines]
     python -m repro all   [--quick]
 
 Each subcommand runs the corresponding experiment runner from
@@ -86,6 +87,8 @@ def run_fig1c(args: argparse.Namespace) -> str:
 def run_fig3(args: argparse.Namespace) -> str:
     """Figure 3: WordCount reductions."""
     settings = Figure3Settings().quick() if args.quick else Figure3Settings()
+    if getattr(args, "reliability", False):
+        settings = dataclasses.replace(settings, reliability=True)
     return run_figure3(settings).report
 
 
@@ -96,11 +99,16 @@ def run_loss_sweep_cmd(args: argparse.Namespace) -> str:
 
 
 def run_scale_cmd(args: argparse.Namespace) -> str:
-    """Cluster-scale sweep: 16-256 workers on a multi-switch fabric."""
+    """Cluster-scale sweep: 16-1024 workers on a multi-switch fabric."""
     settings = ScaleSettings().quick() if args.quick else ScaleSettings()
     fabric = getattr(args, "fabric", None)
     if fabric is not None:
         settings = dataclasses.replace(settings, fabric=fabric)
+    workers = getattr(args, "workers", None)
+    if workers is not None:
+        settings = dataclasses.replace(settings, worker_counts=(workers,))
+    if getattr(args, "compare_baselines", False):
+        settings = dataclasses.replace(settings, compare_baselines=True)
     return run_scale(settings).report
 
 
@@ -147,12 +155,32 @@ def build_parser() -> argparse.ArgumentParser:
             sub.add_argument(
                 "--vertices", type=int, default=None, help="graph size for Figure 1(c)"
             )
+        if name in ("fig3", "all"):
+            sub.add_argument(
+                "--reliability",
+                action="store_true",
+                help="run the DAIET transport with the end-host reliability "
+                "layer enabled",
+            )
         if name == "scale":
             sub.add_argument(
                 "--fabric",
                 choices=("leaf_spine", "fat_tree"),
                 default=None,
                 help="fabric for the cluster-scale sweep (default: leaf_spine)",
+            )
+            sub.add_argument(
+                "--workers",
+                type=int,
+                default=None,
+                help="run a single worker count instead of the default sweep "
+                "(e.g. --workers 1024)",
+            )
+            sub.add_argument(
+                "--compare-baselines",
+                action="store_true",
+                help="also run the UDP/TCP baselines (reliability on) and "
+                "report packet reductions",
             )
         sub.set_defaults(func=func)
     return parser

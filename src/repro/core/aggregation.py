@@ -342,36 +342,58 @@ class DaietAggregationEngine:
         combine = state.function.combine
         index_stack = state.index_stack
         spillover = state.spillover
+        pairs = packet.pairs
         inserted = 0
         aggregated = 0
-        is_sum = combine is _SUM_COMBINE
-        for key, value in packet.pairs:
-            idx = hash_cache.get(key)
-            if idx is None:
-                idx = hash_cache[key] = hash_key(key, slots)
-            cell_key = key_cells[idx]
-            if cell_key is None:
-                key_cells[idx] = key
-                value_cells[idx] = value
-                index_stack.push(idx)
-                inserted += 1
-            elif cell_key == key:
-                # The sum function (WordCount, gradient aggregation — the
-                # dominant workloads) merges inline instead of through the
-                # lambda call.
-                if is_sum:
+        if combine is _SUM_COMBINE:
+            # The sum function (WordCount, gradient aggregation — the
+            # dominant workloads) gets its own loop: the merge happens
+            # inline and key->slot resolution is a plain subscript (the
+            # KeyError path only runs on a key's first appearance).
+            for key, value in pairs:
+                try:
+                    idx = hash_cache[key]
+                except KeyError:
+                    idx = hash_cache[key] = hash_key(key, slots)
+                cell_key = key_cells[idx]
+                if cell_key == key:
                     value_cells[idx] = value_cells[idx] + value
+                    aggregated += 1
+                elif cell_key is None:
+                    key_cells[idx] = key
+                    value_cells[idx] = value
+                    index_stack.push(idx)
+                    inserted += 1
                 else:
+                    counters.collisions += 1
+                    if spillover.store(key, value, state.function):
+                        if spillover.is_full:
+                            emitted.extend(self._flush_spillover(state))
+                    else:
+                        counters.spillover_merges += 1
+        else:
+            for key, value in pairs:
+                try:
+                    idx = hash_cache[key]
+                except KeyError:
+                    idx = hash_cache[key] = hash_key(key, slots)
+                cell_key = key_cells[idx]
+                if cell_key is None:
+                    key_cells[idx] = key
+                    value_cells[idx] = value
+                    index_stack.push(idx)
+                    inserted += 1
+                elif cell_key == key:
                     value_cells[idx] = combine(value_cells[idx], value)
-                aggregated += 1
-            else:
-                counters.collisions += 1
-                if spillover.store(key, value, state.function):
-                    if spillover.is_full:
-                        emitted.extend(self._flush_spillover(state))
+                    aggregated += 1
                 else:
-                    counters.spillover_merges += 1
-        counters.pairs_received += len(packet.pairs)
+                    counters.collisions += 1
+                    if spillover.store(key, value, state.function):
+                        if spillover.is_full:
+                            emitted.extend(self._flush_spillover(state))
+                    else:
+                        counters.spillover_merges += 1
+        counters.pairs_received += len(pairs)
         counters.pairs_inserted += inserted
         counters.pairs_aggregated += aggregated
         if packet.seq is not None:

@@ -230,18 +230,17 @@ class DaietSystem:
             # The reducer starts pulling so even a fully-lost flush recovers.
             self._agent(reducer).arm(tree.tree_id)
             return count
-        count = 0
-        for packet in packetize_pairs(
-            pairs,
-            tree_id=tree.tree_id,
-            src=mapper,
-            dst=reducer,
-            config=self.config,
-            include_end=include_end,
-        ):
-            self.simulator.send(mapper, packet)
-            count += 1
-        return count
+        return self.simulator.send_burst(
+            mapper,
+            packetize_pairs(
+                pairs,
+                tree_id=tree.tree_id,
+                src=mapper,
+                dst=reducer,
+                config=self.config,
+                include_end=include_end,
+            ),
+        )
 
     def run(self, until: float | None = None) -> int:
         """Run the simulation until all in-flight traffic is delivered."""

@@ -14,7 +14,7 @@ from typing import Iterable
 
 from repro.core.errors import TreeError
 from repro.netsim.devices import Host, SwitchDevice
-from repro.netsim.routing import shortest_path
+from repro.netsim.routing import paths_towards
 from repro.netsim.topology import Topology
 
 
@@ -78,8 +78,12 @@ class AggregationTree:
         tree = cls(tree_id=tree_id, reducer=reducer, mappers=mapper_list)
         tree.nodes[reducer] = TreeNode(name=reducer, parent=None, is_switch=False)
 
+        # One BFS towards the reducer serves every mapper's path (the paths
+        # are identical to per-mapper shortest_path calls, including the
+        # deterministic ECMP choice).
+        paths = paths_towards(topology, reducer, mapper_list)
         for mapper in mapper_list:
-            path = shortest_path(topology, mapper, reducer)
+            path = paths[mapper]
             # Walk the path from the mapper towards the reducer, adding each
             # hop with its next hop as parent, stopping as soon as we reach a
             # node that is already part of the tree.

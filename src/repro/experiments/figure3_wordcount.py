@@ -59,6 +59,11 @@ class Figure3Settings:
     pairs_per_packet: int = 10
     key_width: int = 16
     effective_tcp_mss: int = EFFECTIVE_TCP_SEGMENT_BYTES
+    #: Run the DAIET transport with the end-host reliability layer enabled
+    #: (sequence numbers, dedup windows, ACKs) — ``repro fig3 --reliability``.
+    #: The job output must stay bit-identical; only traffic accounting for
+    #: the DAIET path may change (ACKs crossing reducer NICs).
+    reliability: bool = False
 
     def quick(self) -> "Figure3Settings":
         """A fast variant used by unit tests and smoke runs."""
@@ -73,6 +78,7 @@ class Figure3Settings:
             pairs_per_packet=self.pairs_per_packet,
             key_width=self.key_width,
             effective_tcp_mss=self.effective_tcp_mss,
+            reliability=self.reliability,
         )
 
     def daiet_config(self) -> DaietConfig:
@@ -81,6 +87,7 @@ class Figure3Settings:
             register_slots=self.register_slots,
             pairs_per_packet=self.pairs_per_packet,
             key_width=self.key_width,
+            reliability=self.reliability,
         )
 
     def corpus_spec(self) -> CorpusSpec:

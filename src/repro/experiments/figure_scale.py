@@ -1,16 +1,28 @@
-"""Cluster-scale scenario: in-network aggregation from 16 to 256 workers.
+"""Cluster-scale scenario: in-network aggregation from 16 to 1024 workers.
 
 The paper's pitch is that in-network aggregation pays off at rack and cluster
 scale, yet its evaluation (and this reproduction's other figures) runs a
 dozen workers behind one switch. This experiment sweeps the worker count up
-to 256 on multi-switch fabrics — a two-tier leaf-spine by default, a k-ary
-fat-tree optionally — with lossy host uplinks and the PR 1 reliability layer
-enabled, and checks that every run still produces the bit-exact aggregate.
+to 256 (1024 via ``repro scale --workers 1024``) on multi-switch fabrics — a
+two-tier leaf-spine by default, a k-ary fat-tree optionally — with lossy
+host uplinks and the PR 1 reliability layer enabled, and checks that every
+run still produces the bit-exact aggregate.
+
+``--compare-baselines`` additionally replays the identical workload over the
+two non-aggregating baselines, both with reliability on so every path stays
+bit-exact over the same lossy links:
+
+* **UDP baseline** — DAIET-sized datagrams over the reliable datagram layer
+  (:class:`~repro.transport.udp.ReliableUdpTransport`); switches only
+  forward (the compiled forwarding fast path), the reducer aggregates.
+* **TCP baseline** — MSS-sized segments over the same reliable layer
+  (modelling TCP's ACK/retransmission machinery); the reducer aggregates.
 
 These scenarios were previously infeasible in reasonable wall-clock time;
-the fast-path simulator core (see ``src/repro/netsim/README.md``) makes them
-routine, and the report includes the measured events/sec so scale runs double
-as a coarse perf canary.
+the fast-path simulator core plus the calendar-queue scheduler, one-BFS-per-
+destination routing and burst injection (see ``src/repro/netsim/README.md``)
+make them routine, and the report includes the measured events/sec so scale
+runs double as a coarse perf canary.
 """
 
 from __future__ import annotations
@@ -24,11 +36,24 @@ from repro.core.daiet import DaietSystem
 from repro.core.errors import ReproError
 from repro.core.functions import SUM, aggregate_pairs
 from repro.netsim.devices import Host
-from repro.netsim.simulator import SimulatorConfig
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
 from repro.netsim.topology import Topology, fat_tree, leaf_spine
+from repro.transport.packets import MessagePayload
+from repro.transport.udp import ReliableUdpTransport
 
 #: Worker counts swept by the paper-scale run.
 DEFAULT_WORKER_COUNTS = (16, 64, 128, 256)
+
+#: Destination port of the baseline shuffle streams.
+BASELINE_PORT = 9090
+
+#: Bytes per (key, value) pair on a baseline datagram (mirrors the DAIET
+#: fixed-width pair encoding).
+BASELINE_PAIR_BYTES = 20
+
+#: Effective TCP segment payload for the TCP-like baseline (matches the
+#: figure3 container-testbed observation).
+BASELINE_TCP_SEGMENT_BYTES = 1024
 
 
 @dataclass
@@ -36,6 +61,8 @@ class ScaleSettings:
     """Scale and protocol knobs for the cluster-scale sweep."""
 
     worker_counts: tuple[int, ...] = DEFAULT_WORKER_COUNTS
+    #: Also run the UDP/TCP baselines (reliability on) for comparison.
+    compare_baselines: bool = False
     #: ``"leaf_spine"`` (default) or ``"fat_tree"``.
     fabric: str = "leaf_spine"
     #: Leaf-spine dimensioning (ignored for fat-tree).
@@ -53,6 +80,13 @@ class ScaleSettings:
     retransmit_timeout: float = 1e-4
     ack_window: int = 8
     max_retransmits: int = 30
+    #: Retransmission timeout of the host-to-host baselines. DAIET's hop
+    #: reliability keeps per-hop RTTs tiny, but the baselines funnel the
+    #: whole cluster's traffic into one reducer NIC, so their end-to-end RTT
+    #: includes the full incast backlog: an RTO below the transfer duration
+    #: would retransmit spuriously (a go-back-N storm), which no sane TCP
+    #: stack does. 2 ms models a TCP-like minimum RTO at this scale.
+    baseline_retransmit_timeout: float = 2e-3
     loss_seed: int = 17
     seed: int = 2017
 
@@ -60,6 +94,7 @@ class ScaleSettings:
         """A fast variant used by unit tests and smoke runs."""
         return ScaleSettings(
             worker_counts=(8, 16),
+            compare_baselines=self.compare_baselines,
             fabric=self.fabric,
             workers_per_leaf=4,
             spines=2,
@@ -72,6 +107,7 @@ class ScaleSettings:
             retransmit_timeout=self.retransmit_timeout,
             ack_window=self.ack_window,
             max_retransmits=self.max_retransmits,
+            baseline_retransmit_timeout=self.baseline_retransmit_timeout,
             loss_seed=self.loss_seed,
             seed=self.seed,
         )
@@ -86,6 +122,24 @@ class ScaleSettings:
             ack_window=self.ack_window,
             max_retransmits=self.max_retransmits,
         )
+
+
+@dataclass
+class BaselineRun:
+    """Measurements of one baseline (non-aggregating) run at one scale."""
+
+    transport: str
+    workers: int
+    exact: bool
+    events: int
+    wall_seconds: float
+    events_per_sec: float
+    link_packets: int
+    link_bytes: int
+    losses: int
+    retransmissions: int
+    reducer_packets: int
+    sim_seconds: float
 
 
 @dataclass
@@ -106,6 +160,10 @@ class ScaleRun:
     retransmissions: int
     duplicates_filtered: int
     sim_seconds: float
+    #: Packets received at the reducer NIC (baseline-comparison metric).
+    reducer_packets: int = 0
+    #: Baseline runs keyed by transport name (``--compare-baselines`` only).
+    baselines: dict[str, BaselineRun] = field(default_factory=dict)
 
 
 @dataclass
@@ -218,6 +276,89 @@ def run_scale_once(settings: ScaleSettings, num_workers: int) -> ScaleRun:
         + sum(c.retransmitted_packets for c in engine_counters),
         duplicates_filtered=sum(c.duplicate_packets for c in engine_counters),
         sim_seconds=system.simulator.now,
+        reducer_packets=system.simulator.host(reducer).counters.packets_received,
+    )
+
+
+def _chunked(pairs: list[tuple[str, int]], size: int) -> list[list[tuple[str, int]]]:
+    return [pairs[i : i + size] for i in range(0, len(pairs), size)]
+
+
+def run_baseline_once(
+    settings: ScaleSettings, num_workers: int, transport: str
+) -> BaselineRun:
+    """One non-aggregating shuffle round over the reliable datagram layer.
+
+    ``transport`` selects the framing: ``"udp"`` ships DAIET-sized datagrams
+    (``pairs_per_packet`` pairs each); ``"tcp"`` ships MSS-sized segments —
+    both with ACK/retransmission reliability so the run is bit-exact over the
+    same lossy fabric the DAIET run uses. Switches only forward (no
+    aggregation trees are installed), exercising the compiled forwarding
+    path; the reducer host performs the whole aggregation.
+    """
+    if transport == "udp":
+        pairs_per_packet = settings.pairs_per_packet
+    elif transport == "tcp":
+        pairs_per_packet = BASELINE_TCP_SEGMENT_BYTES // BASELINE_PAIR_BYTES
+    else:
+        raise ReproError(f"unknown baseline transport {transport!r}")
+    partitions = _worker_partitions(settings, num_workers)
+    truth = aggregate_pairs(
+        [pair for partition in partitions for pair in partition], SUM
+    )
+    topology = _build_fabric(settings, num_workers)
+    simulator = NetworkSimulator(
+        topology, SimulatorConfig(loss_seed=settings.loss_seed)
+    )
+    reliable = ReliableUdpTransport(
+        simulator,
+        retransmit_timeout=settings.baseline_retransmit_timeout,
+        ack_window=settings.ack_window,
+        max_retransmits=settings.max_retransmits,
+    )
+    reducer = "h0"
+    aggregate: dict[str, int] = {}
+
+    def on_message(_src: str, payload: MessagePayload) -> None:
+        if payload.kind != "pairs":
+            return
+        for key, value in payload.data:
+            aggregate[key] = aggregate.get(key, 0) + value
+
+    reliable.listen_reliable(reducer, BASELINE_PORT, on_message)
+    mappers = [f"h{i}" for i in range(1, num_workers + 1)]
+    for mapper, pairs in zip(mappers, partitions):
+        for chunk in _chunked(pairs, pairs_per_packet):
+            reliable.send_reliable(
+                mapper,
+                reducer,
+                MessagePayload(kind="pairs", data=chunk),
+                len(chunk) * BASELINE_PAIR_BYTES,
+                port=BASELINE_PORT,
+            )
+
+    start = time.perf_counter()
+    events = simulator.run()
+    wall = time.perf_counter() - start
+
+    delivered = all(
+        reliable.flow_done(mapper, reducer, BASELINE_PORT) for mapper in mappers
+    )
+    exact = delivered and aggregate == truth
+    stats = simulator.stats
+    return BaselineRun(
+        transport=transport,
+        workers=num_workers,
+        exact=exact,
+        events=events,
+        wall_seconds=wall,
+        events_per_sec=events / wall if wall > 0 else 0.0,
+        link_packets=stats.total_link_packets(),
+        link_bytes=stats.total_link_bytes(),
+        losses=stats.total_losses(),
+        retransmissions=reliable.stats.retransmissions,
+        reducer_packets=simulator.host(reducer).counters.packets_received,
+        sim_seconds=simulator.now,
     )
 
 
@@ -232,6 +373,15 @@ def run_scale(settings: ScaleSettings | None = None) -> ScaleResult:
                 f"the {num_workers}-worker {settings.fabric} run diverged from "
                 "the lossless ground truth"
             )
+        if settings.compare_baselines:
+            for transport in ("udp", "tcp"):
+                baseline = run_baseline_once(settings, num_workers, transport)
+                if not baseline.exact:
+                    raise ReproError(
+                        f"the {num_workers}-worker {transport} baseline diverged "
+                        "from the lossless ground truth"
+                    )
+                run.baselines[transport] = baseline
         result.runs.append(run)
     result.report = _render_report(result)
     return result
@@ -262,6 +412,47 @@ def _render_report(result: ScaleResult) -> str:
             f"{run.wall_seconds:>8.2f} {run.events_per_sec:>10,.0f} "
             f"{run.link_packets:>10d} {run.losses:>7d} "
             f"{run.retransmissions:>8d} {run.sim_seconds * 1e3:>8.2f}"
+        )
+    if settings.compare_baselines:
+        lines.append("")
+        lines.append(
+            "Baseline comparison (identical workload and lossy fabric, "
+            "reliability on for every path):"
+        )
+        header = (
+            f"{'workers':>8s} {'path':>6s} {'exact':>6s} {'events':>9s} "
+            f"{'wall-s':>8s} {'link-pkts':>10s} {'losses':>7s} {'retrans':>8s} "
+            f"{'rx-pkts':>8s} {'pkt-reduction':>14s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for run in result.runs:
+            lines.append(
+                f"{run.workers:>8d} {'daiet':>6s} {'yes' if run.exact else 'NO':>6s} "
+                f"{run.events:>9d} {run.wall_seconds:>8.2f} {run.link_packets:>10d} "
+                f"{run.losses:>7d} {run.retransmissions:>8d} "
+                f"{run.reducer_packets:>8d} {'-':>14s}"
+            )
+            for transport in ("udp", "tcp"):
+                baseline = run.baselines.get(transport)
+                if baseline is None:
+                    continue
+                reduction = (
+                    1.0 - run.reducer_packets / baseline.reducer_packets
+                    if baseline.reducer_packets
+                    else 0.0
+                )
+                lines.append(
+                    f"{baseline.workers:>8d} {transport:>6s} "
+                    f"{'yes' if baseline.exact else 'NO':>6s} "
+                    f"{baseline.events:>9d} {baseline.wall_seconds:>8.2f} "
+                    f"{baseline.link_packets:>10d} {baseline.losses:>7d} "
+                    f"{baseline.retransmissions:>8d} {baseline.reducer_packets:>8d} "
+                    f"{reduction:>13.1%}"
+                )
+        lines.append(
+            "pkt-reduction: fewer packets into the reducer with in-network "
+            "aggregation vs the baseline."
         )
     lines.append("")
     verdict = (

@@ -120,7 +120,12 @@ class ReducerMetrics:
     packets_received: int = 0
     pairs_received: int = 0
     local_pairs: int = 0
+    #: Simulated reduce-phase time (deterministic cost model; see
+    #: :func:`repro.mapreduce.reducer.simulated_reduce_seconds`).
     reduce_seconds: float = 0.0
+    #: Measured wall-clock time of the same work (jitters with machine load;
+    #: kept for calibrating the model, never used in figure rows).
+    reduce_wall_seconds: float = 0.0
     output_keys: int = 0
 
     def snapshot(self) -> dict[str, float]:
@@ -133,6 +138,7 @@ class ReducerMetrics:
             "pairs_received": self.pairs_received,
             "local_pairs": self.local_pairs,
             "reduce_seconds": self.reduce_seconds,
+            "reduce_wall_seconds": self.reduce_wall_seconds,
             "output_keys": self.output_keys,
         }
 

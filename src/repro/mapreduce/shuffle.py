@@ -231,13 +231,15 @@ class DaietShuffle(ShuffleTransport):
                     self.accounting.local_pairs += len(pairs)
                     continue
                 self.accounting.network_pairs += len(pairs)
-                packets = packetize_pairs(
-                    pairs,
-                    tree_id=tree.tree_id,
-                    src=mapper_host,
-                    dst=reducer_host,
-                    config=self.config,
-                    include_end=True,
+                packets = list(
+                    packetize_pairs(
+                        pairs,
+                        tree_id=tree.tree_id,
+                        src=mapper_host,
+                        dst=reducer_host,
+                        config=self.config,
+                        include_end=True,
+                    )
                 )
                 if self.config.reliability:
                     channel = self._agent(mapper_host).sender(tree.tree_id)
@@ -250,8 +252,8 @@ class DaietShuffle(ShuffleTransport):
                         self.accounting.packets_sent += 1
                         self.accounting.payload_bytes_sent += packet.payload_bytes()
                     continue
+                self.cluster.simulator.send_burst(mapper_host, packets)
                 for packet in packets:
-                    self.cluster.simulator.send(mapper_host, packet)
                     self.accounting.packets_sent += 1
                     self.accounting.payload_bytes_sent += packet.payload_bytes()
 

@@ -14,7 +14,7 @@ from typing import Any, Callable
 
 from repro.core.errors import PipelineError, TopologyError
 from repro.core.packet import DaietAck, DaietPacket, DaietPacketType
-from repro.dataplane.actions import ForwardAction, PacketContext
+from repro.dataplane.actions import ForwardAction, NoAction, PacketContext
 from repro.dataplane.switch import ProgrammableSwitch, _packet_bytes as _switch_packet_bytes
 from repro.dataplane.tables import MatchActionTable
 
@@ -29,6 +29,32 @@ DAIET_TABLE = "daiet_steer"
 
 #: Hoisted enum member for the fast-path DATA/END dispatch.
 _DAIET_DATA = DaietPacketType.DATA
+
+#: Steering-cache sentinel: the tree id has *no* entry in ``daiet_steer``, so
+#: the packet is plain traffic for the compiled forwarding path (distinct
+#: from ``None``, which means "entry present but not the standard aggregate
+#: action" and forces the generic pipeline).
+_NO_STEERING_ENTRY = object()
+
+#: Forwarding-cache sentinel: this destination cannot take the compiled
+#: forwarding path (non-standard action, broadcast port, unhashable key...).
+_GENERIC_FORWARD = object()
+
+#: Transport packet classes eligible for the compiled forwarding path.
+#: Resolved lazily (see :func:`_forwarding_packet_types`) because importing
+#: :mod:`repro.transport` at module scope would close an import cycle while
+#: :mod:`repro.netsim` is still initializing.
+_FORWARD_TYPES: tuple[type, ...] = ()
+
+
+def _forwarding_packet_types() -> tuple[type, ...]:
+    """The (lazily imported) transport packet types the fast path forwards."""
+    global _FORWARD_TYPES
+    if not _FORWARD_TYPES:
+        from repro.transport.packets import TcpSegment, UdpDatagram
+
+        _FORWARD_TYPES = (UdpDatagram, TcpSegment)
+    return _FORWARD_TYPES
 
 
 @dataclass(slots=True)
@@ -126,10 +152,17 @@ class SwitchDevice(Device):
     def __init__(self, name: str, num_ports: int = 64, switch: ProgrammableSwitch | None = None) -> None:
         super().__init__(name)
         self.switch = switch or ProgrammableSwitch(name=name, num_ports=num_ports)
-        #: tree_id -> (table version, engine-or-None); revalidated against
-        #: the steering table's mutation counter, so rule changes invalidate
-        #: the memo naturally.
+        #: tree_id -> (table version, engine | _NO_STEERING_ENTRY | None);
+        #: revalidated against the steering table's mutation counter, so rule
+        #: changes invalidate the memo naturally.
         self._fast_cache: dict[int, tuple[int, Any]] = {}
+        #: dst -> (daiet version, forward version, egress | None |
+        #: _GENERIC_FORWARD): the compiled forwarding closure data for
+        #: baseline/ACK traffic. ``None`` caches a forwarding miss (drop).
+        #: Both table versions take part in validation because the fast path
+        #: replicates *both* tables' hit/miss accounting.
+        self._fwd_cache: dict[Any, tuple[int, int, Any]] = {}
+        self._udp_type, self._tcp_type = _forwarding_packet_types()
         self._build_standard_pipeline()
 
     def _build_standard_pipeline(self) -> None:
@@ -189,18 +222,43 @@ class SwitchDevice(Device):
                 return func.__self__
         return None
 
+    def _pipeline_is_standard(self) -> bool:
+        """Per-packet shape guard: the pipeline is still the standard three
+        single-step stages (metadata extract -> daiet_steer -> l3_forward).
+
+        Verified by identity on every packet because stage step lists can be
+        mutated in place without bumping any counter.
+        """
+        stages = self._sw_pipeline._stages
+        if len(stages) != 3:
+            return False
+        s0, s1, s2 = stages
+        return (
+            len(s0.steps) == 1
+            and s0.steps[0] is _extract_packet_metadata
+            and len(s1.steps) == 1
+            and s1.steps[0] is self._daiet_tbl
+            and len(s2.steps) == 1
+            and s2.steps[0] is self._fwd_tbl
+        )
+
     def deliver(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
         """Process one packet whose wire size is already known.
 
         DAIET packets and ACKs matching an installed steering rule take the
-        compiled fast path; everything else (and every non-standard pipeline
-        configuration) is handled by the generic pipeline. Both paths produce
-        identical emissions and identical counter/parse-budget effects.
+        compiled aggregation fast path; DAIET traffic *without* a steering
+        entry (the UDP baseline) and plain transport packets (TCP segments,
+        UDP datagrams — baseline shuffles and host-level ACK/retransmit
+        traffic) take the compiled forwarding path. Everything else (and
+        every non-standard pipeline configuration) is handled by the generic
+        pipeline. All paths produce identical emissions and identical
+        counter/parse-budget effects.
         """
         switch = self.switch
         packet_type = type(packet)
         if packet_type is DaietPacket or packet_type is DaietAck:
-            # Shape guard: verify the pipeline is still the standard three
+            # Shape guard (_pipeline_is_standard, inlined on the hottest
+            # branch): verify the pipeline is still the standard three
             # single-step stages before trusting the fast path.
             stages = self._sw_pipeline._stages
             if len(stages) != 3:
@@ -223,9 +281,19 @@ class SwitchDevice(Device):
             if cached is not None and cached[0] == table.version:
                 engine = cached[1]
             else:
-                entry = table._exact_index.get((("tree_id", tree_id),))
-                engine = self._steering_engine(entry) if entry is not None else None
+                if table._unindexed:
+                    engine = None  # unhashable steering entries: generic path
+                else:
+                    entry = table._exact_index.get((("tree_id", tree_id),))
+                    if entry is None:
+                        engine = _NO_STEERING_ENTRY
+                    else:
+                        engine = self._steering_engine(entry)
                 self._fast_cache[tree_id] = (table.version, engine)
+            if engine is _NO_STEERING_ENTRY:
+                # No aggregation rule for this tree (baseline traffic, or
+                # ACKs crossing a switch outside their tree): forward by dst.
+                return self._fast_forward(packet, ingress_port, nbytes)
             if engine is not None:
                 # Total op charge the generic path would make: extract
                 # extern (1) + table (1) + action cost (1) + the extern's
@@ -279,7 +347,103 @@ class SwitchDevice(Device):
                                 out_packet, counters
                             )
                     return out
+        elif packet_type is self._udp_type or packet_type is self._tcp_type:
+            if self._pipeline_is_standard():
+                return self._fast_forward(packet, ingress_port, nbytes)
         return switch.receive(packet, ingress_port, nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Compiled forwarding path
+    # ------------------------------------------------------------------ #
+    def _resolve_forward(self, dst: Any) -> Any:
+        """Resolve one destination against ``l3_forward`` for the fast path.
+
+        Returns the egress port, ``None`` for a cacheable miss (drop), or
+        :data:`_GENERIC_FORWARD` when the destination must take the generic
+        pipeline (unhashable key, unindexed entries, a non-standard action,
+        a broadcast port, or a non-trivial default action on either table —
+        the generic pipeline runs the default action on every miss, and the
+        fast path only replicates the standard free ``NoAction``).
+        """
+        table = self._fwd_tbl
+        if (
+            table._unindexed
+            or type(table.default_action) is not NoAction
+            or type(self._daiet_tbl.default_action) is not NoAction
+        ):
+            return _GENERIC_FORWARD
+        try:
+            entry = table._exact_index.get((("dst", dst),))
+        except TypeError:  # unhashable destination
+            return _GENERIC_FORWARD
+        if entry is None:
+            return None
+        action = entry.action
+        if type(action) is ForwardAction and action.cost == 1 and action.egress_port >= 0:
+            return action.egress_port
+        return _GENERIC_FORWARD
+
+    def _fast_forward(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
+        """Compiled L3 forwarding for packets that miss the steering table.
+
+        Replicates exactly the observable effects of the generic pipeline on
+        plain forwarded traffic — switch counters, parser charges,
+        ``packets_processed``, the steering table's miss count, the
+        forwarding table's hit/miss count, and the drop accounting on a
+        forwarding miss — without building the per-packet context. Falls
+        back to the generic pipeline whenever the memoized resolution says
+        the destination is not plainly forwardable.
+        """
+        switch = self.switch
+        dst = getattr(packet, "dst", None)
+        try:
+            cached = self._fwd_cache.get(dst)
+        except TypeError:  # unhashable destination: generic pipeline
+            return switch.receive(packet, ingress_port, nbytes)
+        daiet_version = self._daiet_tbl.version
+        fwd_version = self._fwd_tbl.version
+        if (
+            cached is not None
+            and cached[0] == daiet_version
+            and cached[1] == fwd_version
+        ):
+            egress = cached[2]
+        else:
+            egress = self._resolve_forward(dst)
+            self._fwd_cache[dst] = (daiet_version, fwd_version, egress)
+        if egress is _GENERIC_FORWARD:
+            return switch.receive(packet, ingress_port, nbytes)
+        # Charge the generic path would make: extract extern (1) +
+        # daiet_steer miss (1) + l3_forward (1) + ForwardAction (1 on a hit,
+        # nothing on a miss — the default action is a free NoAction).
+        charge = 3 if egress is None else 4
+        if charge > self._max_ops:
+            return switch.receive(packet, ingress_port, nbytes)
+        if not 0 <= ingress_port < switch.num_ports:
+            raise PipelineError(
+                f"ingress port {ingress_port} out of range for switch {switch.name!r}"
+            )
+        counters = self._sw_counters
+        counters.packets_in += 1
+        counters.bytes_in += nbytes
+        parsed = packet.parse_depth_bytes()
+        if parsed <= self._max_parse:
+            parser = self._sw_parser
+            parser.packets_parsed += 1
+            parser.bytes_parsed += parsed
+        else:
+            self._sw_parser.charge(packet)  # raises the exact error
+        self._sw_pipeline.packets_processed += 1
+        self._daiet_tbl.miss_count += 1
+        fwd = self._fwd_tbl
+        if egress is None:
+            fwd.miss_count += 1
+            counters.packets_dropped += 1
+            return []
+        fwd.hit_count += 1
+        counters.packets_out += 1
+        counters.bytes_out += nbytes
+        return [(egress, packet)]
 
 
 def packet_wire_bytes(packet: Any) -> int:

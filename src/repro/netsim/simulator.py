@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 from heapq import heappush
-from typing import Any
+from typing import Any, Iterable
 
 from repro.core.errors import SimulationError, TopologyError
 from repro.netsim.devices import Device, Host, SwitchDevice, packet_wire_bytes
@@ -68,6 +68,13 @@ class NetworkSimulator:
         #: packets cannot overtake each other (FIFO links).
         self._link_busy_until: dict[tuple[str, str], float] = {}
         self._loss_rng = random.Random(self.config.loss_seed)
+        #: Extra logical events carried by burst transmissions: a burst of N
+        #: packets is ONE scheduler event whose callback performs N
+        #: injections, and the N-1 "saved" events are accounted here so
+        #: ``run()`` keeps returning the same event count a per-packet
+        #: schedule would have produced (reports and benches stay
+        #: comparable across PRs).
+        self._synthetic_events = 0
         self._build_port_maps()
         if self.config.auto_install_routes:
             self.install_routes()
@@ -79,16 +86,18 @@ class NetworkSimulator:
         for link in self.topology.links:
             for end, other in ((link.a, link.b), (link.b, link.a)):
                 self._port_links[end.device][end.port] = link
-                # The delivery callback is specialized per receiver type at
-                # build time, so per-packet delivery needs no device lookup
-                # or type dispatch. Subclassed devices use the generic path.
+                # The delivery callback is compiled per receiver at build
+                # time — a closure binding the receiver's stats slot and
+                # delivery routine — so per-packet delivery needs no device
+                # lookup, type dispatch or simulator attribute traffic.
+                # Subclassed devices use the generic path.
                 device = self.topology.devices[other.device]
                 device_type = type(device)
                 if device_type is Host:
-                    callback = self._deliver_to_host
+                    callback = self._compile_host_sink(device)
                     target: Any = device
                 elif device_type is SwitchDevice:
-                    callback = self._deliver_to_switch
+                    callback = self._compile_switch_sink(device)
                     target = device
                 else:
                     callback = self._deliver
@@ -102,6 +111,50 @@ class NetworkSimulator:
                     link.counters(end.device),
                     (link.name, end.device),
                 )
+
+    def _compile_host_sink(self, host: Host) -> Any:
+        """A delivery closure for one host: stats recording + app delivery.
+
+        The per-packet ``self`` attribute loads are resolved at build time.
+        The stats *dict* is bound (not the per-host counter object), so
+        ``TrafficStats.reset`` keeps working — counters are re-created on
+        the next packet.
+        """
+        host_received = self._host_recv_stats
+        name = host.name
+        deliver = host.deliver
+
+        def sink(_target: Any, _ingress_port: int, packet: Any, nbytes: int) -> None:
+            traffic = host_received.get(name)
+            if traffic is None:
+                traffic = host_received[name] = PerDeviceTraffic()
+            traffic.packets += 1
+            traffic.bytes += nbytes
+            deliver(packet, nbytes)
+
+        return sink
+
+    def _compile_switch_sink(self, device: SwitchDevice) -> Any:
+        """A delivery closure for one switch: stats + deliver + re-transmit."""
+        switch_traffic = self._switch_stats
+        name = device.name
+        deliver = device.deliver
+        transmit = self._transmit
+
+        def sink(_target: Any, ingress_port: int, packet: Any, nbytes: int) -> None:
+            traffic = switch_traffic.get(name)
+            if traffic is None:
+                traffic = switch_traffic[name] = PerDeviceTraffic()
+            traffic.packets += 1
+            traffic.bytes += nbytes
+            outputs = deliver(packet, ingress_port, nbytes)
+            if outputs:
+                for egress_port, out_packet in outputs:
+                    transmit(
+                        name, egress_port, out_packet, packet_wire_bytes(out_packet)
+                    )
+
+        return sink
 
     # ------------------------------------------------------------------ #
     # Control plane
@@ -134,6 +187,50 @@ class NetworkSimulator:
         self.scheduler.push_at(
             self.scheduler.now + delay, self._transmit, (src_host, 0, packet, nbytes)
         )
+
+    def send_burst(self, src_host: str, packets: Iterable[Any], delay: float = 0.0) -> int:
+        """Inject a window of packets from one host as a single wire event.
+
+        Semantically identical to calling :meth:`send` once per packet — the
+        packets hit the wire in list order at the same simulated time, with
+        identical loss draws, link serialization and statistics — but the
+        whole window costs one scheduler entry instead of N. Senders with
+        bursty windows (map-output packetization, retransmission rounds)
+        use this to keep the event queue proportional to in-flight traffic
+        rather than to send-call volume.
+
+        Each burst member still counts as one logical event in the totals
+        reported by :meth:`run`. Returns the number of packets injected.
+        """
+        device = self._devices.get(src_host)
+        if device is None:
+            raise TopologyError(f"unknown device {src_host!r}")
+        if not isinstance(device, Host):
+            raise SimulationError(f"send_burst() source {src_host!r} is not a host")
+        if 0 not in self._port_info[src_host]:
+            raise TopologyError(f"host {src_host!r} has no uplink")
+        if delay < 0:
+            raise SimulationError(f"cannot schedule an event in the past (delay={delay})")
+        record_sent = self.stats.record_host_sent
+        items: list[tuple[Any, int]] = []
+        for packet in packets:
+            nbytes = packet_wire_bytes(packet)
+            device.note_sent(packet, nbytes)
+            record_sent(src_host, nbytes)
+            items.append((packet, nbytes))
+        if not items:
+            return 0
+        self.scheduler.push_at(
+            self.scheduler.now + delay, self._transmit_burst, (src_host, items)
+        )
+        return len(items)
+
+    def _transmit_burst(self, src_host: str, items: list[tuple[Any, int]]) -> None:
+        """Put a whole window of packets on a host's uplink, in order."""
+        transmit = self._transmit
+        for packet, nbytes in items:
+            transmit(src_host, 0, packet, nbytes)
+        self._synthetic_events += len(items) - 1
 
     def _transmit(self, from_device: str, egress_port: int, packet: Any, nbytes: int) -> None:
         """Put a packet on the link attached to ``(from_device, egress_port)``."""
@@ -168,47 +265,25 @@ class NetworkSimulator:
             # The packet is lost in flight: it never reaches the other end.
             self.stats.record_loss(link_name)
             return
-        # scheduler.push_at, inlined (one schedule per packet per hop).
+        # scheduler.push_at, inlined (one schedule per packet per hop); the
+        # calendar branch mirrors EventScheduler.push_at exactly.
         scheduler = self.scheduler
         seq = scheduler._seq
         scheduler._seq = seq + 1
-        heappush(
-            scheduler._queue,
-            (
-                start + serialization + link.propagation_s,
-                seq,
-                callback,
-                (target, other_port, packet, nbytes),
-            ),
+        entry = (
+            start + serialization + link.propagation_s,
+            seq,
+            callback,
+            (target, other_port, packet, nbytes),
         )
-
-    def _deliver_to_host(self, host: Host, ingress_port: int, packet: Any, nbytes: int) -> None:
-        """Specialized delivery: the receiving device is a plain host."""
-        host_received = self._host_recv_stats
-        traffic = host_received.get(host.name)
-        if traffic is None:
-            traffic = host_received[host.name] = PerDeviceTraffic()
-        traffic.packets += 1
-        traffic.bytes += nbytes
-        host.deliver(packet, nbytes)
-
-    def _deliver_to_switch(
-        self, device: SwitchDevice, ingress_port: int, packet: Any, nbytes: int
-    ) -> None:
-        """Specialized delivery: the receiving device is a standard switch."""
-        switch_traffic = self._switch_stats
-        name = device.name
-        traffic = switch_traffic.get(name)
-        if traffic is None:
-            traffic = switch_traffic[name] = PerDeviceTraffic()
-        traffic.packets += 1
-        traffic.bytes += nbytes
-        outputs = device.deliver(packet, ingress_port, nbytes)
-        if outputs:
-            for egress_port, out_packet in outputs:
-                self._transmit(
-                    name, egress_port, out_packet, packet_wire_bytes(out_packet)
-                )
+        cal = scheduler._cal
+        if cal is not None:
+            cal.push(entry)
+        else:
+            queue = scheduler._queue
+            heappush(queue, entry)
+            if len(queue) >= scheduler._threshold:
+                scheduler._activate_calendar()
 
     def _deliver(self, device_name: str, ingress_port: int, packet: Any, nbytes: int) -> None:
         device = self._devices[device_name]
@@ -250,8 +325,19 @@ class NetworkSimulator:
     # Execution
     # ------------------------------------------------------------------ #
     def run(self, until: float | None = None) -> int:
-        """Run the simulation until the event queue drains (or ``until``)."""
-        return self.scheduler.run(until=until, max_events=self.config.max_events)
+        """Run the simulation until the event queue drains (or ``until``).
+
+        Returns the number of logical events executed: scheduler dispatches
+        plus the extra injections carried by burst events (see
+        :meth:`send_burst`), so event totals are independent of whether a
+        sender batched its window.
+        """
+        executed = self.scheduler.run(until=until, max_events=self.config.max_events)
+        extra = self._synthetic_events
+        if extra:
+            self._synthetic_events = 0
+            executed += extra
+        return executed
 
     # ------------------------------------------------------------------ #
     # Timer hooks (used by the end-host reliability layer)

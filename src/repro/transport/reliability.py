@@ -112,18 +112,28 @@ class ReliableSenderChannel:
         return seq
 
     def send(self, packets: Iterable[DaietPacket]) -> int:
-        """Inject sequenced packets into the network and buffer them."""
-        count = 0
-        for packet in packets:
+        """Inject sequenced packets into the network and buffer them.
+
+        The whole window is injected as one burst event (see
+        :meth:`~repro.netsim.simulator.NetworkSimulator.send_burst`): the
+        packets hit the wire in order at the same simulated time as
+        per-packet sends would, but cost one scheduler entry instead of N.
+        """
+        # Validate the whole window before buffering or counting anything:
+        # a bad packet mid-iteration must not leave earlier packets stranded
+        # in the retransmit buffer without ever hitting the wire.
+        window = list(packets)
+        for packet in window:
             if packet.seq is None:
                 raise TransportError(
                     "reliable channels require packets with sequence numbers"
                 )
+        stats = self.stats
+        for packet in window:
             self._unacked[packet.seq] = packet
-            self.simulator.send(self.host, packet)
-            self.stats.packets_sent += 1
-            self.stats.wire_bytes_sent += packet.wire_bytes()
-            count += 1
+            stats.packets_sent += 1
+            stats.wire_bytes_sent += packet.wire_bytes()
+        count = self.simulator.send_burst(self.host, window) if window else 0
         if self._unacked and not self._timer.active:
             self._timer.start(self.retransmit_timeout)
         return count
@@ -144,22 +154,27 @@ class ReliableSenderChannel:
             # Gap-fill at most once per ACK progress: duplicate ACKs carrying
             # the same holes must not trigger a retransmission storm.
             horizon = max(sacked)
-            for seq in sorted(
+            missing = sorted(
                 s for s in self._unacked if s < horizon and s not in self._retransmitted
-            ):
-                self._retransmitted.add(seq)
-                self._retransmit(seq)
+            )
+            self._retransmitted.update(missing)
+            self._retransmit_many(missing)
         if self._unacked:
             self._timer.start(self.retransmit_timeout)
         else:
             self._timer.cancel()
 
-    def _retransmit(self, seq: int) -> None:
-        packet = self._unacked[seq]
-        self.simulator.send(self.host, packet)
-        self.stats.retransmissions += 1
-        self.stats.wire_bytes_sent += packet.wire_bytes()
-        self.stats.wire_bytes_retransmitted += packet.wire_bytes()
+    def _retransmit_many(self, seqs: list[int]) -> None:
+        """Re-inject a batch of buffered packets as one burst event."""
+        if not seqs:
+            return
+        packets = [self._unacked[seq] for seq in seqs]
+        self.simulator.send_burst(self.host, packets)
+        stats = self.stats
+        wire_bytes = sum(packet.wire_bytes() for packet in packets)
+        stats.retransmissions += len(packets)
+        stats.wire_bytes_sent += wire_bytes
+        stats.wire_bytes_retransmitted += wire_bytes
 
     def _on_timeout(self) -> None:
         if not self._unacked:
@@ -172,8 +187,7 @@ class ReliableSenderChannel:
                 f"{self.max_retransmits} consecutive retransmission timeouts "
                 f"({len(self._unacked)} packets still unacknowledged)"
             )
-        for seq in sorted(self._unacked):
-            self._retransmit(seq)
+        self._retransmit_many(sorted(self._unacked))
         backoff = min(2 ** self._consecutive_timeouts, MAX_BACKOFF_FACTOR)
         self._timer.start(self.retransmit_timeout * backoff)
 

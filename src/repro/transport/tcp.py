@@ -137,8 +137,11 @@ class TcpTransport:
             sport=sport,
             dport=dport,
         )
-        for segment in segments:
-            self.simulator.send(src, segment)
+        # The kernel would blast the whole write into the NIC queue at once;
+        # one burst event models exactly that (identical wire behaviour to
+        # per-segment sends, one scheduler entry per message instead of one
+        # per segment).
+        self.simulator.send_burst(src, segments)
         self.stats.messages_sent += 1
         self.stats.segments_sent += len(segments)
         self.stats.payload_bytes_sent += message_bytes

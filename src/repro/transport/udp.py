@@ -304,21 +304,24 @@ class ReliableUdpTransport(UdpTransport):
         if sacked:
             # Gap-fill at most once per ACK progress (no duplicate-ACK storm).
             horizon = max(sacked)
-            for seq in sorted(
+            missing = sorted(
                 s for s in flow.unacked if s < horizon and s not in flow.retransmitted
-            ):
-                flow.retransmitted.add(seq)
-                self._retransmit(flow, seq)
+            )
+            flow.retransmitted.update(missing)
+            self._retransmit_many(flow, missing)
         if flow.unacked:
             flow.timer.start(self.retransmit_timeout)
         else:
             flow.timer.cancel()
 
-    def _retransmit(self, flow: _UdpFlow, seq: int) -> None:
-        datagram = flow.unacked[seq]
-        self.simulator.send(flow.src, datagram)
-        self.stats.retransmissions += 1
-        self.stats.wire_bytes_sent += datagram.wire_bytes()
+    def _retransmit_many(self, flow: _UdpFlow, seqs: list[int]) -> None:
+        """Re-inject a batch of unacknowledged datagrams as one burst event."""
+        if not seqs:
+            return
+        datagrams = [flow.unacked[seq] for seq in seqs]
+        self.simulator.send_burst(flow.src, datagrams)
+        self.stats.retransmissions += len(datagrams)
+        self.stats.wire_bytes_sent += sum(d.wire_bytes() for d in datagrams)
 
     def _on_timeout(self, flow: _UdpFlow) -> None:
         if not flow.unacked:
@@ -330,7 +333,6 @@ class ReliableUdpTransport(UdpTransport):
                 f"reliable UDP flow {flow.src!r}->{flow.dst!r} gave up after "
                 f"{self.max_retransmits} consecutive timeouts"
             )
-        for seq in sorted(flow.unacked):
-            self._retransmit(flow, seq)
+        self._retransmit_many(flow, sorted(flow.unacked))
         backoff = min(2**flow.consecutive_timeouts, 8)
         flow.timer.start(self.retransmit_timeout * backoff)

@@ -1,0 +1,47 @@
+"""Figure 3 with the reliability layer enabled (``repro fig3 --reliability``).
+
+Closes the PR 1 follow-up: the DAIET transport inside the figure3 comparison
+can run with sequence numbers, dedup windows and ACKs. On the lossless
+figure3 fabric the job output must be bit-identical with and without the
+layer, and the reduce-time model keeps the whole report deterministic.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cli import build_parser
+from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+
+
+class TestFigure3Reliability:
+    def test_quick_run_with_reliability_is_correct(self):
+        settings = dataclasses.replace(Figure3Settings().quick(), reliability=True)
+        result = run_figure3(settings)
+        assert result.daiet.output == result.tcp.output == result.udp.output
+        # The aggregation benefit is unchanged by the reliability framing.
+        assert result.boxplots["Data volume reduction (vs TCP)"].median > 0.5
+
+    def test_reliability_does_not_change_job_output(self):
+        plain = run_figure3(Figure3Settings().quick())
+        reliable = run_figure3(
+            dataclasses.replace(Figure3Settings().quick(), reliability=True)
+        )
+        assert plain.daiet.output == reliable.daiet.output
+
+    def test_reliability_report_is_deterministic(self):
+        settings = dataclasses.replace(Figure3Settings().quick(), reliability=True)
+        assert run_figure3(settings).report == run_figure3(settings).report
+
+    def test_cli_flag_parses(self):
+        args = build_parser().parse_args(["fig3", "--quick", "--reliability"])
+        assert args.reliability is True
+        args = build_parser().parse_args(["fig3"])
+        assert args.reliability is False
+
+    def test_cli_scale_flags_parse(self):
+        args = build_parser().parse_args(
+            ["scale", "--workers", "1024", "--compare-baselines"]
+        )
+        assert args.workers == 1024
+        assert args.compare_baselines is True

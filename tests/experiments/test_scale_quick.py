@@ -2,7 +2,16 @@
 
 from __future__ import annotations
 
-from repro.experiments.figure_scale import ScaleSettings, run_scale, run_scale_once
+import dataclasses
+
+import pytest
+
+from repro.experiments.figure_scale import (
+    ScaleSettings,
+    run_baseline_once,
+    run_scale,
+    run_scale_once,
+)
 
 
 class TestScaleSweepQuick:
@@ -46,3 +55,61 @@ class TestScaleSweepQuick:
         assert run.exact
         assert run.losses > 0
         assert run.retransmissions > 0
+
+
+class TestBaselineComparison:
+    def test_quick_sweep_with_baselines(self):
+        result = run_scale(
+            dataclasses.replace(ScaleSettings().quick(), compare_baselines=True)
+        )
+        assert result.all_exact
+        for run in result.runs:
+            assert set(run.baselines) == {"udp", "tcp"}
+            for baseline in run.baselines.values():
+                assert baseline.exact
+                # No aggregation: the reducer NIC sees (far) more packets.
+                assert baseline.reducer_packets > 0
+            assert run.reducer_packets < run.baselines["udp"].reducer_packets
+        assert "pkt-reduction" in result.report
+        assert "udp" in result.report and "tcp" in result.report
+
+    def test_udp_baseline_recovers_from_loss(self):
+        settings = dataclasses.replace(
+            ScaleSettings().quick(),
+            loss_rate=0.02,
+            loss_seed=3,
+            baseline_retransmit_timeout=5e-4,
+        )
+        baseline = run_baseline_once(settings, 16, "udp")
+        assert baseline.exact
+        assert baseline.losses > 0
+        assert baseline.retransmissions > 0
+
+    def test_unknown_transport_rejected(self):
+        from repro.core.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_baseline_once(ScaleSettings().quick(), 8, "carrier-pigeon")
+
+
+class TestScale1024Determinism:
+    """Determinism snapshots for the 1024-worker scenario (perf-marked:
+    two full cluster rounds)."""
+
+    @pytest.mark.perf
+    def test_1024_worker_run_is_reproducible(self):
+        def snapshot():
+            run = run_scale_once(ScaleSettings(), 1024)
+            assert run.exact
+            return (
+                run.events,
+                run.link_packets,
+                run.link_bytes,
+                run.losses,
+                run.retransmissions,
+                run.duplicates_filtered,
+                run.sim_seconds,
+                run.reducer_packets,
+            )
+
+        assert snapshot() == snapshot()

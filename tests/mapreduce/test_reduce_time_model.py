@@ -1,0 +1,70 @@
+"""The simulated reduce-time model: deterministic, monotone, calibrated.
+
+``ReduceTask.finish`` reports ``reduce_seconds`` from a cost model instead
+of a wall-clock timer, so figure3's reduce-time row is bit-reproducible
+under fixed seeds. These tests pin the model's properties: determinism,
+sane monotonicity (more pairs cost more; merging many runs costs more than
+scanning one), and the split between modelled and measured time.
+"""
+
+from __future__ import annotations
+
+from repro.mapreduce.job import JobSpec
+from repro.mapreduce.reducer import ReduceTask, simulated_reduce_seconds
+
+
+def _spec() -> JobSpec:
+    return JobSpec(
+        name="wc",
+        map_function=lambda line: [(w, 1) for w in line.split()],
+        reduce_function=lambda key, values: sum(values),
+        num_mappers=2,
+        num_reducers=1,
+    )
+
+
+class TestSimulatedReduceSeconds:
+    def test_deterministic(self):
+        args = ([100, 200, 50], 400, 120)
+        assert simulated_reduce_seconds(*args) == simulated_reduce_seconds(*args)
+
+    def test_zero_input_costs_nothing(self):
+        assert simulated_reduce_seconds([], 0, 0) == 0.0
+
+    def test_more_pairs_cost_more(self):
+        small = simulated_reduce_seconds([], 100, 50)
+        large = simulated_reduce_seconds([], 10_000, 50)
+        assert large > small
+
+    def test_merge_of_many_runs_costs_more_than_single_scan(self):
+        merged = simulated_reduce_seconds([1_000] * 20, 0, 500)
+        scanned = simulated_reduce_seconds([20_000], 0, 500)
+        assert merged > scanned
+
+    def test_aggregated_input_is_cheaper_than_raw(self):
+        """The figure3 shape: a small sorted buffer beats a big k-way merge."""
+        daiet = simulated_reduce_seconds([], 2_000, 2_000)
+        tcp = simulated_reduce_seconds([833] * 24, 0, 2_000)
+        assert daiet < tcp
+
+
+class TestReduceTaskModel:
+    def test_finish_reports_model_and_wall_separately(self):
+        task = ReduceTask(reducer_id=0, host="w0", spec=_spec())
+        task.add_unsorted_pairs([("b", 2), ("a", 1), ("b", 3)])
+        task.finish()
+        expected = simulated_reduce_seconds([], 3, 2)
+        assert task.metrics.reduce_seconds == expected
+        assert task.metrics.reduce_wall_seconds >= 0.0
+
+    def test_identical_inputs_identical_reported_time(self):
+        def run() -> float:
+            task = ReduceTask(reducer_id=0, host="w0", spec=_spec())
+            task.add_sorted_run([("a", 1), ("b", 1)])
+            task.add_sorted_run([("a", 2), ("c", 1)])
+            task.add_unsorted_pairs([("d", 5)])
+            task.finish()
+            return task.metrics.reduce_seconds
+
+        assert run() == run()
+        assert run() > 0.0

@@ -139,6 +139,28 @@ class TestSnapshotDeterminismAtScale:
         assert list(a["stats"]["link_traffic"]) == list(b["stats"]["link_traffic"])
 
 
+class TestSchedulerBackendDeterminism:
+    """Heap and calendar backends must produce bit-identical simulations."""
+
+    def test_calendar_backend_matches_heap(self, monkeypatch):
+        import repro.netsim.events as events_module
+
+        heap_run = _run_once(reliability=True, loss_rate=0.03, seed=11)
+        # Force the calendar queue from the very first pending event.
+        monkeypatch.setattr(events_module, "CALENDAR_THRESHOLD", 1)
+        calendar_run = _run_once(reliability=True, loss_rate=0.03, seed=11)
+        assert calendar_run == heap_run
+
+    def test_mid_run_migration_matches_heap(self, monkeypatch):
+        import repro.netsim.events as events_module
+
+        heap_run = _run_once(reliability=False, loss_rate=0.0, seed=7)
+        # A threshold crossed mid-run: the queue migrates while draining.
+        monkeypatch.setattr(events_module, "CALENDAR_THRESHOLD", 100)
+        migrated_run = _run_once(reliability=False, loss_rate=0.0, seed=7)
+        assert migrated_run == heap_run
+
+
 def test_plain_rack_smoke():
     """The helper topology itself is sound (guards the fixtures above)."""
     topo = single_rack(num_hosts=3)

@@ -1,0 +1,152 @@
+"""The compiled forwarding path must be observationally identical to the
+generic pipeline.
+
+``SwitchDevice.deliver`` forwards baseline traffic (UDP datagrams, TCP
+segments, DAIET packets with no steering entry) through a version-validated
+``dst -> egress`` cache instead of the generic pipeline. Every counter the
+generic path touches — switch packets/bytes in/out, drops, parser charges,
+``packets_processed``, both tables' hit/miss counts — must come out the
+same, and control-plane mutations must invalidate the cache.
+"""
+
+from __future__ import annotations
+
+from repro.core.packet import DaietPacket, DaietPacketType
+from repro.dataplane.actions import SetMetadataAction
+from repro.dataplane.tables import FlowRule
+from repro.netsim.devices import FORWARDING_TABLE, SwitchDevice
+from repro.transport.packets import TcpSegment, UdpDatagram
+
+
+def _forwarding_switch(name: str = "sw") -> SwitchDevice:
+    device = SwitchDevice(name, num_ports=8)
+    for dst, port in (("h0", 0), ("h1", 1), ("h2", 2)):
+        device.switch.install_rule(
+            FlowRule.create(
+                table=FORWARDING_TABLE,
+                match={"dst": dst},
+                action_name="forward",
+                action_params={"egress_port": port},
+            )
+        )
+    return device
+
+
+def _observable_state(device: SwitchDevice) -> dict:
+    return {
+        "counters": device.switch.counters.snapshot(),
+        "parser": (
+            device.switch.parser.packets_parsed,
+            device.switch.parser.bytes_parsed,
+        ),
+        "processed": device.switch.pipeline.packets_processed,
+        "daiet_hits": (device.daiet_table.hit_count, device.daiet_table.miss_count),
+        "fwd_hits": (
+            device.forwarding_table.hit_count,
+            device.forwarding_table.miss_count,
+        ),
+    }
+
+
+def _packets() -> list:
+    return [
+        UdpDatagram(src="h0", dst="h1", sport=5, dport=9, payload_bytes=64),
+        UdpDatagram(src="h1", dst="h2", payload_bytes=1),
+        TcpSegment(src="h2", dst="h0", payload_bytes=512, fin=True),
+        TcpSegment(src="h0", dst="h2", seq=100, payload_bytes=9),
+        # DAIET data with NO steering entry: the UDP-baseline shape.
+        DaietPacket(
+            tree_id=42,
+            src="h0",
+            dst="h1",
+            packet_type=DaietPacketType.DATA,
+            pairs=(("ant", 1), ("bee", 2)),
+        ),
+        # Unknown destination: a forwarding miss (counted drop).
+        UdpDatagram(src="h0", dst="nowhere", payload_bytes=7),
+    ]
+
+
+class TestForwardingFastPathEquivalence:
+    def test_fast_path_matches_generic_pipeline(self):
+        fast = _forwarding_switch()
+        slow = _forwarding_switch()
+        for packet in _packets():
+            nbytes = packet.wire_bytes()
+            out_fast = fast.deliver(packet, 3, nbytes)
+            out_slow = slow.switch.receive(packet, 3, nbytes)
+            assert out_fast == out_slow
+        assert _observable_state(fast) == _observable_state(slow)
+
+    def test_cache_invalidated_by_rule_install(self):
+        device = _forwarding_switch()
+        packet = UdpDatagram(src="h0", dst="h9", payload_bytes=4)
+        # First delivery: miss -> drop (and the miss is cached).
+        assert device.deliver(packet, 3, packet.wire_bytes()) == []
+        assert device.switch.counters.packets_dropped == 1
+        device.switch.install_rule(
+            FlowRule.create(
+                table=FORWARDING_TABLE,
+                match={"dst": "h9"},
+                action_name="forward",
+                action_params={"egress_port": 5},
+            )
+        )
+        assert device.deliver(packet, 3, packet.wire_bytes()) == [(5, packet)]
+
+    def test_cache_invalidated_by_rule_removal(self):
+        device = _forwarding_switch()
+        packet = UdpDatagram(src="h0", dst="h1", payload_bytes=4)
+        assert device.deliver(packet, 3, packet.wire_bytes()) == [(1, packet)]
+        device.switch.remove_rule(FORWARDING_TABLE, {"dst": "h1"})
+        assert device.deliver(packet, 3, packet.wire_bytes()) == []
+
+    def test_non_standard_action_falls_back(self):
+        """A non-ForwardAction entry must not be served from the fast path."""
+        fast = _forwarding_switch()
+        slow = _forwarding_switch()
+        for device in (fast, slow):
+            table = device.forwarding_table
+            table.register_action("mark", SetMetadataAction(key="marked", value=True))
+            table.install(
+                FlowRule.create(
+                    table=FORWARDING_TABLE,
+                    match={"dst": "weird"},
+                    action_name="mark",
+                )
+            )
+        packet = UdpDatagram(src="h0", dst="weird", payload_bytes=4)
+        out_fast = fast.deliver(packet, 3, packet.wire_bytes())
+        out_slow = slow.switch.receive(packet, 3, packet.wire_bytes())
+        assert out_fast == out_slow
+        assert _observable_state(fast) == _observable_state(slow)
+
+    def test_non_default_miss_action_falls_back(self):
+        """A custom table default action must run on misses, exactly as the
+        generic pipeline would (the fast path only models a free NoAction)."""
+        fast = _forwarding_switch()
+        slow = _forwarding_switch()
+        for device in (fast, slow):
+            # A miss on l3_forward now forwards to a punt port instead of
+            # dropping (set_default_action bumps the table version, so the
+            # fast path's cached miss must be invalidated AND bypassed).
+            device.forwarding_table.set_default_action(SetMetadataAction(key="egress_port", value=7))
+        unknown = UdpDatagram(src="h0", dst="mystery", payload_bytes=3)
+        known = UdpDatagram(src="h0", dst="h1", payload_bytes=3)
+        for packet in (unknown, known, unknown):
+            out_fast = fast.deliver(packet, 3, packet.wire_bytes())
+            out_slow = slow.switch.receive(packet, 3, packet.wire_bytes())
+            assert out_fast == out_slow
+        assert _observable_state(fast) == _observable_state(slow)
+
+    def test_daiet_steered_traffic_unaffected(self):
+        """Packets with a steering entry still go to the aggregation path."""
+        from repro.core.config import DaietConfig
+        from repro.core.daiet import DaietSystem
+
+        system = DaietSystem.single_rack(num_hosts=3, config=DaietConfig(register_slots=64))
+        system.install_job(mappers=["h0", "h1"], reducers=["h2"])
+        system.send_pairs("h0", "h2", [("ant", 1)])
+        system.send_pairs("h1", "h2", [("ant", 2)])
+        system.run()
+        assert system.receiver("h2").result() == {"ant": 3}

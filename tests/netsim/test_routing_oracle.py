@@ -1,0 +1,83 @@
+"""The BFS/DAG router must be bit-identical to the networkx path oracle.
+
+The fast router (one BFS per destination + path-count indexing) replaced a
+per-(source, destination) ``sorted(nx.all_shortest_paths(...))`` enumeration.
+Every next hop and every full path — including the hash-indexed ECMP choice
+among equal-cost paths — must match what the enumeration would have picked,
+or installed forwarding state (and every figure derived from it) silently
+changes. These tests re-implement the old enumeration as an oracle and
+compare exhaustively on ECMP-heavy fabrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import networkx as nx
+
+from repro.netsim.routing import compute_routes, paths_towards, shortest_path
+from repro.netsim.topology import Topology, fat_tree, leaf_spine
+
+
+def _oracle_path(topology: Topology, src: str, dst: str, seed: int = 0) -> list[str]:
+    graph = topology.graph()
+    paths = sorted(nx.all_shortest_paths(graph, src, dst))
+    if len(paths) == 1:
+        return paths[0]
+    digest = hashlib.sha256(f"{seed}:{src}->{dst}".encode()).digest()
+    return paths[int.from_bytes(digest[:4], "big") % len(paths)]
+
+
+def _oracle_routes(topology: Topology, seed: int = 0) -> dict[str, dict[str, str]]:
+    hosts = [h.name for h in topology.hosts()]
+    return {
+        switch.name: {
+            dst: _oracle_path(topology, switch.name, dst, seed)[1] for dst in hosts
+        }
+        for switch in topology.switches()
+    }
+
+
+class TestRoutingOracleEquivalence:
+    def test_fat_tree_next_hops_match(self):
+        topo = fat_tree(4)
+        assert compute_routes(topo).next_hops == _oracle_routes(topo)
+
+    def test_leaf_spine_next_hops_match(self):
+        topo = leaf_spine(num_leaves=4, num_spines=3, hosts_per_leaf=3)
+        assert compute_routes(topo).next_hops == _oracle_routes(topo)
+
+    def test_nonzero_ecmp_seed_matches(self):
+        topo = leaf_spine(num_leaves=3, num_spines=4, hosts_per_leaf=2)
+        assert compute_routes(topo, ecmp_seed=7).next_hops == _oracle_routes(
+            topo, seed=7
+        )
+
+    def test_full_paths_match_on_ecmp_fabric(self):
+        topo = fat_tree(4)
+        hosts = [h.name for h in topo.hosts()]
+        for src in hosts[:4]:
+            for dst in hosts:
+                if src != dst:
+                    assert shortest_path(topo, src, dst) == _oracle_path(
+                        topo, src, dst
+                    ), (src, dst)
+
+    def test_paths_towards_matches_per_source_calls(self):
+        topo = leaf_spine(num_leaves=3, num_spines=2, hosts_per_leaf=3)
+        hosts = [h.name for h in topo.hosts()]
+        dst = hosts[0]
+        sources = hosts[1:]
+        bulk = paths_towards(topo, dst, sources)
+        for src in sources:
+            assert bulk[src] == shortest_path(topo, src, dst)
+
+    def test_ecmp_actually_exercised(self):
+        """The fabrics above really have multiple equal-cost paths."""
+        topo = fat_tree(4)
+        graph = topo.graph()
+        hosts = [h.name for h in topo.hosts()]
+        assert any(
+            len(list(nx.all_shortest_paths(graph, hosts[0], dst))) > 1
+            for dst in hosts[1:]
+        )
