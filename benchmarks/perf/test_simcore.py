@@ -15,11 +15,13 @@ the trajectory.
 
 from __future__ import annotations
 
+import json
 import time
 
 import pytest
 
 from bench_common import (
+    BENCH_JSON,
     MacroBenchResult,
     peak_rss_bytes,
     record_bench,
@@ -80,6 +82,34 @@ class TestSimulatorCoreThroughput:
             f"{SEED_BASELINE_EVENTS_PER_SEC:,} events/s)"
         )
         assert result.events_per_sec >= SMOKE_FLOOR_EVENTS_PER_SEC
+
+    def test_sanitizer_off_costs_nothing(self, monkeypatch):
+        """With REPRO_SANITIZE unset the hot path carries zero checker cost.
+
+        The sanitizer wraps send/deliver and replaces the run loop only when
+        enabled; disabled, the simulator must run the exact same compiled
+        paths as before the checks subsystem existed. Gate: throughput stays
+        above half the trajectory recorded in BENCH_simcore.json (falling
+        back to the seed-era smoke floor on a fresh checkout).
+        """
+        monkeypatch.delenv("REPRO_SANITIZE", raising=False)
+        floor = SMOKE_FLOOR_EVENTS_PER_SEC
+        if BENCH_JSON.exists():
+            recorded = json.loads(BENCH_JSON.read_text())
+            macro = recorded.get("wordcount_macro", {})
+            floor = max(floor, macro.get("events_per_sec", 0.0) / 2)
+        result = _best_of(
+            3,
+            num_mappers=16,
+            pairs_per_mapper=12_000,
+            vocabulary=8_000,
+            register_slots=16 * 1024,
+        )
+        print(
+            f"\nsanitizer-off guard: {result.events_per_sec:,.0f} events/s "
+            f"against a floor of {floor:,.0f} events/s"
+        )
+        assert result.events_per_sec >= floor
 
     def test_reliable_lossy_macro_bench(self):
         """Reliability + 1% loss: the retransmission machinery stays fast."""

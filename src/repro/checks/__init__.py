@@ -1,0 +1,30 @@
+"""Static analysis and runtime sanitizer for the simulator core.
+
+The package has two halves:
+
+* **Static checks** (``repro lint``): an AST determinism linter over
+  ``src/repro`` (:mod:`repro.checks.determinism`), a fast-path parity
+  checker tying every compiled hot path to its oracle test module
+  (:mod:`repro.checks.parity` + the :func:`fastpath` registry decorator),
+  and a dataplane configuration checker over constructed pipelines
+  (:mod:`repro.checks.dataplane`). :mod:`repro.checks.lint` drives all
+  three for the CLI.
+* **Runtime sanitizer** (``REPRO_SANITIZE=1`` or ``--sanitize``):
+  :mod:`repro.checks.sanitize` wraps one :class:`~repro.netsim.simulator.
+  NetworkSimulator` with a packet-conservation ledger, scheduler
+  monotonicity/heap-invariant checks and register-leak detection. Nothing
+  here touches the hot path when the sanitizer is off — the wrappers are
+  only installed on an opted-in simulator instance.
+
+This module deliberately imports only the lightweight pieces (the registry
+and the finding record); the lint driver and the sanitizer are imported on
+demand so that decorating a hot-path module with :func:`fastpath` costs one
+dict store at import time and nothing per packet.
+"""
+
+from __future__ import annotations
+
+from repro.checks.findings import Finding
+from repro.checks.registry import FastPathInfo, fastpath, registered_fastpaths
+
+__all__ = ["FastPathInfo", "Finding", "fastpath", "registered_fastpaths"]

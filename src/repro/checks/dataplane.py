@@ -1,0 +1,338 @@
+"""Dataplane configuration checker.
+
+Validates *constructed* pipelines — a :class:`~repro.netsim.simulator.
+NetworkSimulator` with its switches, tables and aggregation engines wired
+up — against the invariants that, when violated, produce silent packet
+loss or resource corruption long before any assertion fires:
+
+* steering-table (``daiet_steer``) entries must reference a configured
+  aggregation tree whose egress and child ports are live (cabled) ports;
+* forwarding entries must emit on live ports (broadcast excepted);
+* exact-match tables must have no duplicate canonical keys, and ternary
+  tables no entry fully shadowed by a higher-priority one;
+* the parser byte budget must cover the largest DAIET packet the
+  configured job can produce (``parse_depth_bytes``);
+* register-file and spillover capacities must agree with the
+  :mod:`repro.dataplane.resources` ledger and the job config.
+
+The checker is read-only; it never mutates the simulator.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.checks.findings import Finding
+from repro.dataplane.actions import CallableAction, ForwardAction
+from repro.dataplane.switch import BROADCAST_PORT
+from repro.dataplane.tables import WILDCARD, MatchActionTable, _canonical_key
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.simulator import NetworkSimulator
+
+
+def _shadows(higher: dict[str, Any], lower: dict[str, Any]) -> bool:
+    """True if ternary match ``higher`` matches every key ``lower`` matches."""
+    for field, low_value in lower.items():
+        high_value = higher.get(field, WILDCARD)
+        if high_value == WILDCARD:
+            continue
+        if low_value == WILDCARD or high_value != low_value:
+            return False
+    return True
+
+
+def check_table(table: MatchActionTable, *, path: str) -> list[Finding]:
+    """Duplicate-key and shadowing checks on one match-action table."""
+    findings: list[Finding] = []
+    if table.match_kind == "exact":
+        seen: dict[tuple, int] = {}
+        for entry in table._entries:
+            key = _canonical_key(entry.match)
+            if key is None:
+                continue
+            if key in seen:
+                findings.append(
+                    Finding(
+                        rule="table-duplicate-key",
+                        path=path,
+                        line=0,
+                        message=f"exact table {table.name!r} holds duplicate "
+                        f"entries for match {entry.match}",
+                    )
+                )
+            else:
+                seen[key] = 1
+    else:
+        # _entries is sorted by descending priority; an entry is dead if any
+        # earlier (>= priority) entry matches its entire match space.
+        entries = table._entries
+        for i, low in enumerate(entries):
+            for high in entries[:i]:
+                if high.priority >= low.priority and _shadows(high.match, low.match):
+                    findings.append(
+                        Finding(
+                            rule="table-shadowed-entry",
+                            path=path,
+                            line=0,
+                            message=f"ternary table {table.name!r} entry "
+                            f"{low.match} (priority {low.priority}) is shadowed "
+                            f"by {high.match} (priority {high.priority})",
+                        )
+                    )
+                    break
+    return findings
+
+
+def _check_ports(
+    ports: Iterable[int],
+    *,
+    what: str,
+    num_ports: int,
+    live_ports: set[int] | None,
+    path: str,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    for port in ports:
+        if port == BROADCAST_PORT:
+            continue
+        if not 0 <= port < num_ports:
+            findings.append(
+                Finding(
+                    rule="dead-egress-port",
+                    path=path,
+                    line=0,
+                    message=f"{what} references port {port}, outside the "
+                    f"switch's 0..{num_ports - 1} range",
+                )
+            )
+        elif live_ports is not None and port not in live_ports:
+            findings.append(
+                Finding(
+                    rule="dead-egress-port",
+                    path=path,
+                    line=0,
+                    message=f"{what} references port {port}, which has no "
+                    "link attached",
+                )
+            )
+    return findings
+
+
+def check_switch(
+    device: Any, *, live_ports: set[int] | None = None, path: str | None = None
+) -> list[Finding]:
+    """Validate one :class:`SwitchDevice`'s tables, trees and resources."""
+    switch = device.switch
+    if path is None:
+        path = f"<switch {switch.name}>"
+    findings: list[Finding] = []
+    tables = switch.pipeline.tables()
+    for table in tables.values():
+        findings += check_table(table, path=path)
+
+    engine = switch.externs.get("daiet")
+    trees = engine._trees if engine is not None else {}
+
+    # Steering entries must point at configured trees on live ports.
+    steer = tables.get("daiet_steer")
+    if steer is not None:
+        for entry in steer._entries:
+            tree_id = entry.match.get("tree_id")
+            state = trees.get(tree_id)
+            if state is None:
+                findings.append(
+                    Finding(
+                        rule="steering-unconfigured-tree",
+                        path=path,
+                        line=0,
+                        message=f"steering entry for tree {tree_id!r} has no "
+                        "configured aggregation tree on this switch",
+                    )
+                )
+                continue
+            if not isinstance(entry.action, CallableAction):
+                findings.append(
+                    Finding(
+                        rule="steering-wrong-action",
+                        path=path,
+                        line=0,
+                        message=f"steering entry for tree {tree_id!r} is bound "
+                        f"to {type(entry.action).__name__}, not the aggregation "
+                        "extern",
+                    )
+                )
+            findings += _check_ports(
+                [state.egress_port],
+                what=f"tree {tree_id} egress",
+                num_ports=switch.num_ports,
+                live_ports=live_ports,
+                path=path,
+            )
+            findings += _check_ports(
+                sorted(state.child_ports.values()),
+                what=f"tree {tree_id} child port set",
+                num_ports=switch.num_ports,
+                live_ports=live_ports,
+                path=path,
+            )
+
+    # Trees configured on the engine but never steered are dead state.
+    if steer is not None:
+        steered = {e.match.get("tree_id") for e in steer._entries}
+        for tree_id in sorted(set(trees) - steered):
+            findings.append(
+                Finding(
+                    rule="steering-missing-entry",
+                    path=path,
+                    line=0,
+                    message=f"aggregation tree {tree_id} is configured but has "
+                    "no steering-table entry; its packets will bypass "
+                    "aggregation",
+                )
+            )
+
+    # Forwarding actions must emit on live ports.
+    for table in tables.values():
+        forward_ports = [
+            entry.action.egress_port
+            for entry in table._entries
+            if isinstance(entry.action, ForwardAction)
+        ]
+        findings += _check_ports(
+            forward_ports,
+            what=f"table {table.name!r} forward entry",
+            num_ports=switch.num_ports,
+            live_ports=live_ports,
+            path=path,
+        )
+
+    # Per-tree register/parser/ledger consistency.
+    for tree_id in sorted(trees):
+        state = trees[tree_id]
+        config = state.config
+        findings += _check_tree_resources(switch, tree_id, state, config, path)
+    return findings
+
+
+def _check_tree_resources(
+    switch: Any, tree_id: int, state: Any, config: Any, path: str
+) -> list[Finding]:
+    findings: list[Finding] = []
+    slots = config.register_slots
+    if len(state.key_register) != slots or len(state.value_register) != slots:
+        findings.append(
+            Finding(
+                rule="register-capacity-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} registers hold "
+                f"{len(state.key_register)}/{len(state.value_register)} cells "
+                f"but the config declares {slots} slots",
+            )
+        )
+    if state.index_stack.capacity != slots:
+        findings.append(
+            Finding(
+                rule="register-capacity-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} index stack capacity "
+                f"{state.index_stack.capacity} != register slots {slots}",
+            )
+        )
+    expected_spill = config.effective_spillover_capacity
+    if state.spillover.capacity != expected_spill:
+        findings.append(
+            Finding(
+                rule="spillover-capacity-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} spillover capacity "
+                f"{state.spillover.capacity} != configured "
+                f"{expected_spill}",
+            )
+        )
+    if state.spillover.capacity > config.pairs_per_packet:
+        findings.append(
+            Finding(
+                rule="spillover-capacity-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} spillover capacity "
+                f"{state.spillover.capacity} exceeds pairs_per_packet "
+                f"{config.pairs_per_packet}; a flush could overflow one packet",
+            )
+        )
+
+    # Parser budget must cover the largest packet this job can emit.
+    max_depth = _max_parse_depth(config)
+    budget = switch.resources.max_parse_bytes
+    if max_depth > budget:
+        findings.append(
+            Finding(
+                rule="parser-budget-exceeded",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} max packet parse depth {max_depth}B "
+                f"exceeds the parser budget {budget}B; full-size DAIET "
+                "packets would be dropped",
+            )
+        )
+
+    # The controller's SRAM reservation must match the config's footprint.
+    owner = f"tree{tree_id}"
+    allocations = switch.ledger.allocations()
+    expected = config.sram_bytes()
+    actual = allocations.get(owner)
+    if actual is None:
+        findings.append(
+            Finding(
+                rule="sram-ledger-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} has no SRAM allocation in the ledger "
+                f"(expected {expected}B under owner {owner!r})",
+            )
+        )
+    elif actual != expected:
+        findings.append(
+            Finding(
+                rule="sram-ledger-mismatch",
+                path=path,
+                line=0,
+                message=f"tree {tree_id} SRAM allocation {actual}B != the "
+                f"config footprint {expected}B",
+            )
+        )
+    return findings
+
+
+def _max_parse_depth(config: Any) -> int:
+    """Parse depth of the largest DAIET data packet the config allows."""
+    from repro.core.packet import DaietPacket
+
+    pairs = tuple(
+        ("k" * config.key_width, (1 << (8 * config.value_width - 1)) - 1)
+        for _ in range(config.pairs_per_packet)
+    )
+    packet = DaietPacket(
+        tree_id=1,
+        src="probe-src",
+        dst="probe-dst",
+        pairs=pairs,
+        config=config,
+        seq=0 if config.reliability else None,
+    )
+    return packet.parse_depth_bytes()
+
+
+def check_simulator(sim: "NetworkSimulator", *, label: str = "<sim>") -> list[Finding]:
+    """Run every dataplane check on each switch of a built simulator."""
+    findings: list[Finding] = []
+    for device in sim.topology.switches():
+        live = set(sim._port_info.get(device.name, {}))
+        findings += check_switch(
+            device, live_ports=live, path=f"{label}:{device.name}"
+        )
+    return findings

@@ -1,0 +1,402 @@
+"""Runtime sanitizer: conservation ledger, scheduler and register checks.
+
+Enabled with ``REPRO_SANITIZE=1`` (or ``repro <experiment> --sanitize``),
+the sanitizer wraps one :class:`~repro.netsim.simulator.NetworkSimulator`
+instance with:
+
+* a **conservation ledger** asserting, per packet class, that
+  ``sent + switch_out == delivered + lost_or_dropped + switch_in`` once the
+  event queue drains (and that in-flight never goes negative mid-run);
+* **sim-time monotonicity** and **dispatch-order** checks on every event,
+  plus periodic **backend structural invariants** (binary-heap property on
+  the heap backend; bucket filing and per-bucket heap property on the
+  calendar backend);
+* **register-leak detection**: occupied aggregation cells must exactly
+  match the index stack, and after a round completes (final flush done, no
+  round in progress) every slot must have rearmed to empty.
+
+Cost model: everything here lives on *wrappers installed onto one opted-in
+simulator instance*. When the sanitizer is off, no wrapper exists, no flag
+is consulted and no per-event branch is executed anywhere in the hot path —
+the mode is compiled out by construction, not by an ``if``.
+
+The wrappers replace *instance attributes* (``sim.send``, ``sim._transmit``,
+``host.deliver``...) and then rebuild the simulator's compiled port maps so
+the per-link delivery closures re-capture the wrapped bound methods.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.core.errors import SanitizerError
+from repro.netsim.devices import Host, SwitchDevice
+
+__all__ = [
+    "ConservationLedger",
+    "SANITIZE_ENV",
+    "SimulatorSanitizer",
+    "install_sanitizer",
+    "sanitize_enabled_in_env",
+]
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.simulator import NetworkSimulator
+
+#: Environment switch; truthy values enable the sanitizer.
+SANITIZE_ENV = "REPRO_SANITIZE"
+
+
+def sanitize_enabled_in_env() -> bool:
+    """True when :data:`SANITIZE_ENV` requests sanitized runs."""
+    return os.environ.get(SANITIZE_ENV, "").strip().lower() in ("1", "true", "yes", "on")
+
+
+class ConservationLedger:
+    """Per-packet-class counters for the conservation invariant.
+
+    At quiescence every class must satisfy
+    ``sent + switch_out == delivered + lost_or_dropped + switch_in``;
+    mid-run the difference (packets in flight) must never go negative —
+    a negative balance means a phantom delivery or an unaccounted emission.
+    """
+
+    def __init__(self) -> None:
+        self.sent: dict[str, int] = {}
+        self.delivered: dict[str, int] = {}
+        self.lost_or_dropped: dict[str, int] = {}
+        self.switch_in: dict[str, int] = {}
+        self.switch_out: dict[str, int] = {}
+
+    @staticmethod
+    def _bump(table: dict[str, int], cls: str) -> None:
+        table[cls] = table.get(cls, 0) + 1
+
+    def classes(self) -> list[str]:
+        """Every packet class seen by any counter, sorted."""
+        names: set[str] = set()
+        for table in (
+            self.sent,
+            self.delivered,
+            self.lost_or_dropped,
+            self.switch_in,
+            self.switch_out,
+        ):
+            names.update(table)
+        return sorted(names)
+
+    def in_flight(self, cls: str) -> int:
+        """Injected-or-emitted minus accounted-for, for one packet class."""
+        produced = self.sent.get(cls, 0) + self.switch_out.get(cls, 0)
+        consumed = (
+            self.delivered.get(cls, 0)
+            + self.lost_or_dropped.get(cls, 0)
+            + self.switch_in.get(cls, 0)
+        )
+        return produced - consumed
+
+    def snapshot(self) -> dict[str, dict[str, int]]:
+        """Copy of every counter table (diagnostics and tests)."""
+        return {
+            "sent": dict(self.sent),
+            "delivered": dict(self.delivered),
+            "lost_or_dropped": dict(self.lost_or_dropped),
+            "switch_in": dict(self.switch_in),
+            "switch_out": dict(self.switch_out),
+        }
+
+    def check(self, *, quiescent: bool) -> None:
+        """Raise :class:`SanitizerError` on a conservation violation."""
+        for cls in self.classes():
+            balance = self.in_flight(cls)
+            if balance < 0:
+                raise SanitizerError(
+                    f"conservation violated for {cls}: "
+                    f"{-balance} more packets accounted for than were ever "
+                    f"sent or emitted (sent={self.sent.get(cls, 0)}, "
+                    f"switch_out={self.switch_out.get(cls, 0)}, "
+                    f"delivered={self.delivered.get(cls, 0)}, "
+                    f"lost_or_dropped={self.lost_or_dropped.get(cls, 0)}, "
+                    f"switch_in={self.switch_in.get(cls, 0)})"
+                )
+            if quiescent and balance != 0:
+                raise SanitizerError(
+                    f"conservation violated for {cls}: {balance} packets "
+                    "unaccounted for at quiescence (sent + switch_out != "
+                    "delivered + lost_or_dropped + switch_in)"
+                )
+
+
+class SimulatorSanitizer:
+    """Installs and drives every runtime check on one simulator instance."""
+
+    def __init__(self, sim: "NetworkSimulator", heap_check_interval: int = 4096) -> None:
+        self.sim = sim
+        self.ledger = ConservationLedger()
+        #: Structural backend checks are O(pending events), so they run every
+        #: ``heap_check_interval`` dispatched events rather than on each one.
+        self.heap_check_interval = heap_check_interval
+        self._installed = False
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+    def install(self) -> "SimulatorSanitizer":
+        """Wrap the simulator's injection, transport and delivery paths."""
+        if self._installed:
+            return self
+        sim = self.sim
+        ledger = self.ledger
+        bump = ConservationLedger._bump
+        scheduler = sim.scheduler
+
+        real_send = sim.send
+        real_send_burst = sim.send_burst
+        real_transmit = sim._transmit
+
+        def send(src_host: str, packet: Any, delay: float = 0.0) -> None:
+            real_send(src_host, packet, delay)
+            bump(ledger.sent, type(packet).__name__)
+
+        def send_burst(src_host: str, packets: Iterable[Any], delay: float = 0.0) -> int:
+            window = list(packets)
+            injected = real_send_burst(src_host, window, delay)
+            for packet in window[:injected] if injected else []:
+                bump(ledger.sent, type(packet).__name__)
+            return injected
+
+        def transmit(from_device: str, egress_port: int, packet: Any, nbytes: int) -> None:
+            # A transmission either schedules exactly one delivery event or
+            # sinks the packet (loss draw, unconnected port): the scheduler
+            # backlog delta tells the two apart without duplicating the
+            # drop/loss logic here.
+            before = len(scheduler)
+            real_transmit(from_device, egress_port, packet, nbytes)
+            if len(scheduler) == before:
+                bump(ledger.lost_or_dropped, type(packet).__name__)
+
+        sim.send = send
+        sim.send_burst = send_burst
+        sim._transmit = transmit
+
+        for device in sim.topology.devices.values():
+            self._wrap_device(device)
+
+        # The compiled per-link sinks captured the *original* bound methods
+        # (host.deliver / device.deliver / sim._transmit) at construction;
+        # rebuilding the port maps makes them re-capture the wrappers.
+        sim._build_port_maps()
+
+        sim.run = self._run
+        sim.sanitizer = self
+        self._installed = True
+        return self
+
+    def _wrap_device(self, device: Any) -> None:
+        ledger = self.ledger
+        bump = ConservationLedger._bump
+
+        if isinstance(device, Host):
+            # Every path into a host application funnels through
+            # ``deliver`` (the compiled sink, the generic path and
+            # Host.handle_packet all call it).
+            real_deliver = device.deliver
+
+            def deliver(packet: Any, nbytes: int) -> None:
+                bump(ledger.delivered, type(packet).__name__)
+                real_deliver(packet, nbytes)
+
+            device.deliver = deliver
+            return
+
+        if type(device) is SwitchDevice:
+            # Exact switches are entered via ``deliver`` (compiled sink
+            # and generic path both dispatch to it directly).
+            real_switch_deliver = device.deliver
+
+            def switch_deliver(
+                packet: Any, ingress_port: int, nbytes: int
+            ) -> list[tuple[int, Any]]:
+                bump(ledger.switch_in, type(packet).__name__)
+                outputs = real_switch_deliver(packet, ingress_port, nbytes)
+                for _port, out_packet in outputs:
+                    bump(ledger.switch_out, type(out_packet).__name__)
+                return outputs
+
+            device.deliver = switch_deliver
+            return
+
+        # Subclassed switches and any other device type take the generic
+        # ``handle_packet`` path (the simulator never compiles a sink for
+        # them); packets they absorb count as switch-consumed.
+        real_handle = device.handle_packet
+
+        def handle_packet(packet: Any, ingress_port: int) -> list[tuple[int, Any]]:
+            bump(ledger.switch_in, type(packet).__name__)
+            outputs = real_handle(packet, ingress_port)
+            for _port, out_packet in outputs:
+                bump(ledger.switch_out, type(out_packet).__name__)
+            return outputs
+
+        device.handle_packet = handle_packet
+
+    # ------------------------------------------------------------------ #
+    # Sanitized run loop
+    # ------------------------------------------------------------------ #
+    def _run(self, until: float | None = None) -> int:
+        """Step-by-step replacement for :meth:`NetworkSimulator.run`.
+
+        Mirrors the scheduler's ``run`` semantics (stop past ``until``,
+        honour ``max_events``, advance the clock to ``until`` at the end)
+        while checking monotonicity and dispatch order on every event and
+        the backend structure periodically.
+        """
+        sim = self.sim
+        scheduler = sim.scheduler
+        max_events = sim.config.max_events
+        interval = self.heap_check_interval
+        executed = 0
+        last_time = scheduler.now
+        while executed < max_events:
+            next_time = scheduler.peek_time()
+            if next_time is None:
+                break
+            if until is not None and next_time > until:
+                break
+            if next_time < last_time:
+                raise SanitizerError(
+                    f"sim-time monotonicity violated: next event at "
+                    f"{next_time!r} lies before the current time {last_time!r}"
+                )
+            if not scheduler.step():
+                break
+            if scheduler.now != next_time:
+                raise SanitizerError(
+                    f"dispatch-order violation: peeked head at {next_time!r} "
+                    f"but the scheduler executed an event at {scheduler.now!r}"
+                )
+            last_time = scheduler.now
+            executed += 1
+            if executed % interval == 0:
+                self.check_backend_invariant()
+        if until is not None and until > scheduler.now:
+            scheduler.now = until
+        extra = sim._synthetic_events
+        if extra:
+            sim._synthetic_events = 0
+            executed += extra
+        self.check()
+        return executed
+
+    # ------------------------------------------------------------------ #
+    # Invariant checks
+    # ------------------------------------------------------------------ #
+    def check_backend_invariant(self) -> None:
+        """Structural invariants of the active scheduler backend."""
+        scheduler = self.sim.scheduler
+        cal = scheduler._cal
+        if cal is None:
+            queue = scheduler._queue
+            for i in range(1, len(queue)):
+                parent = (i - 1) >> 1
+                if queue[i] < queue[parent]:
+                    raise SanitizerError(
+                        f"heap invariant violated at index {i}: entry "
+                        f"t={queue[i][0]!r} sorts before its parent "
+                        f"t={queue[parent][0]!r}"
+                    )
+            return
+        total = 0
+        inv = cal.inv_width
+        mask = cal.mask
+        for index, bucket in enumerate(cal.buckets):
+            total += len(bucket)
+            for i in range(1, len(bucket)):
+                parent = (i - 1) >> 1
+                if bucket[i] < bucket[parent]:
+                    raise SanitizerError(
+                        f"calendar bucket {index} heap invariant violated "
+                        f"at index {i}"
+                    )
+            for entry in bucket:
+                expected = int(entry[0] * inv) & mask
+                if expected != index:
+                    raise SanitizerError(
+                        f"calendar entry t={entry[0]!r} filed in bucket "
+                        f"{index} but belongs in bucket {expected}"
+                    )
+        if total != cal.count:
+            raise SanitizerError(
+                f"calendar count {cal.count} does not match the "
+                f"{total} entries actually stored"
+            )
+
+    def check_registers(self) -> None:
+        """Aggregation register-leak checks across every switch."""
+        for device in self.sim.topology.switches():
+            engine = device.switch.externs.get("daiet")
+            if engine is None:
+                continue
+            for tree_id in sorted(engine._trees):
+                self._check_tree(device.name, tree_id, engine._trees[tree_id])
+
+    def _check_tree(self, switch_name: str, tree_id: int, state: Any) -> None:
+        where = f"switch {switch_name!r} tree {tree_id}"
+        stack = list(state.index_stack.peek_all())
+        stack_set = set(stack)
+        if len(stack_set) != len(stack):
+            duplicates = sorted({i for i in stack if stack.count(i) > 1})
+            raise SanitizerError(
+                f"{where}: index stack holds duplicate slots ({duplicates})"
+            )
+        occupied = set(state.key_register.occupied_indices())
+        leaked = occupied - stack_set
+        if leaked:
+            raise SanitizerError(
+                f"{where}: register slots {sorted(leaked)} hold keys but are "
+                "not recorded on the index stack; they would never be "
+                "flushed or rearmed"
+            )
+        orphaned = stack_set - occupied
+        if orphaned:
+            raise SanitizerError(
+                f"{where}: index stack records slots {sorted(orphaned)} whose "
+                "key cells are empty; the final flush would read empty slots"
+            )
+        for index in sorted(occupied):
+            if state.value_register.is_empty(index):
+                raise SanitizerError(
+                    f"{where}: slot {index} holds a key but no value"
+                )
+        # After a completed round — the final flush ran and no new round has
+        # started — every slot must have rearmed to the empty state.
+        round_complete = (
+            state.counters.final_flushes > 0
+            and state.remaining_children == state.num_children
+            and not state._ended_sources
+        )
+        if round_complete:
+            if occupied:
+                raise SanitizerError(
+                    f"{where}: slots {sorted(occupied)} did not rearm to "
+                    "empty after the round's final flush"
+                )
+            if len(state.spillover):
+                raise SanitizerError(
+                    f"{where}: spillover bucket still holds "
+                    f"{len(state.spillover)} pairs after the round's final "
+                    "flush"
+                )
+
+    def check(self) -> None:
+        """Run every invariant check; raise on the first violation."""
+        self.check_backend_invariant()
+        scheduler = self.sim.scheduler
+        self.ledger.check(quiescent=len(scheduler) == 0)
+        self.check_registers()
+
+
+def install_sanitizer(sim: "NetworkSimulator") -> SimulatorSanitizer:
+    """Create and install a :class:`SimulatorSanitizer` on ``sim``."""
+    return SimulatorSanitizer(sim).install()

@@ -10,16 +10,21 @@ Usage::
     python -m repro scale [--quick] [--fabric leaf_spine|fat_tree]
                           [--workers N] [--compare-baselines]
     python -m repro all   [--quick]
+    python -m repro lint  [--root PATH]
 
-Each subcommand runs the corresponding experiment runner from
+Each experiment subcommand runs the corresponding runner from
 :mod:`repro.experiments` and prints the same textual report the benchmark
-harness writes to ``benchmarks/output/``.
+harness writes to ``benchmarks/output/``; ``--sanitize`` runs it with the
+runtime invariant sanitizer enabled (equivalent to ``REPRO_SANITIZE=1``).
+``lint`` runs the static invariant checks from :mod:`repro.checks` and
+exits non-zero on any finding.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 from typing import Callable, Sequence
 
 from repro.analysis.reporting import render_comparison_table
@@ -112,6 +117,14 @@ def run_scale_cmd(args: argparse.Namespace) -> str:
     return run_scale(settings).report
 
 
+def run_lint_cmd(args: argparse.Namespace) -> tuple[str, int]:
+    """Static checks: determinism lint, fast-path parity, dataplane config."""
+    from repro.checks.lint import run_lint
+
+    report = run_lint(root=getattr(args, "root", None))
+    return report.render(), 0 if report.ok else 1
+
+
 def run_all(args: argparse.Namespace) -> str:
     """Every figure, back to back."""
     parts = [
@@ -151,6 +164,13 @@ def build_parser() -> argparse.ArgumentParser:
             action="store_true",
             help="run at reduced scale (seconds instead of tens of seconds)",
         )
+        sub.add_argument(
+            "--sanitize",
+            action="store_true",
+            help="run with the runtime invariant sanitizer enabled "
+            "(same as REPRO_SANITIZE=1): packet-conservation ledger, "
+            "scheduler and register-leak checks",
+        )
         if name in ("fig1c", "all"):
             sub.add_argument(
                 "--vertices", type=int, default=None, help="graph size for Figure 1(c)"
@@ -183,6 +203,14 @@ def build_parser() -> argparse.ArgumentParser:
                 "report packet reductions",
             )
         sub.set_defaults(func=func)
+    lint = subparsers.add_parser("lint", help=run_lint_cmd.__doc__)
+    lint.add_argument(
+        "--root",
+        default=None,
+        help="restrict to the determinism linter over this file or "
+        "directory (default: full check suite over the repo tree)",
+    )
+    lint.set_defaults(func=run_lint_cmd)
     return parser
 
 
@@ -190,9 +218,15 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Entry point used by ``python -m repro`` and the console script."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    report = args.func(args)
+    if getattr(args, "sanitize", False):
+        os.environ["REPRO_SANITIZE"] = "1"
+    result = args.func(args)
+    if isinstance(result, tuple):
+        report, status = result
+    else:
+        report, status = result, 0
     print(report)
-    return 0
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py

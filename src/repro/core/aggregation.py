@@ -17,6 +17,7 @@ import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Iterable
 
+from repro.checks.registry import fastpath
 from repro.core.config import DaietConfig
 from repro.core.errors import AggregationError
 from repro.core.functions import SUM, AggregationFunction, get as get_function
@@ -322,6 +323,7 @@ class DaietAggregationEngine:
     # ------------------------------------------------------------------ #
     # Algorithm 1
     # ------------------------------------------------------------------ #
+    @fastpath("sum-register-loop", oracle="tests/core/test_aggregation_properties.py")
     def _process_data(self, state: TreeState, packet: DaietPacket) -> list[tuple[int, Any]]:
         emitted: list[tuple[int, Any]] = []
         if packet.seq is not None:

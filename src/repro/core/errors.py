@@ -71,3 +71,9 @@ class GraphError(ReproError):
 
 class SimulationError(ReproError):
     """The discrete-event simulator reached an inconsistent state."""
+
+
+class SanitizerError(SimulationError):
+    """The runtime sanitizer (``REPRO_SANITIZE=1``) detected an invariant
+    violation: broken packet conservation, a non-monotone or structurally
+    corrupt event queue, or leaked aggregation register state."""

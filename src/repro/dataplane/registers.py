@@ -19,6 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Iterator
 
+from repro.checks.registry import fastpath
 from repro.core.errors import AggregationError, ResourceExhaustedError
 
 
@@ -162,6 +163,7 @@ class SpilloverBucket:
         """``True`` when the next :meth:`store` would exceed capacity."""
         return len(self._pairs) >= self.capacity
 
+    @fastpath("spillover-slot-index", oracle="tests/dataplane/test_registers.py")
     def store(self, key: Any, value: Any, combine: Any = None) -> bool:
         """Buffer a colliding pair, aggregating repeats of the same key.
 

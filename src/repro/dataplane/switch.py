@@ -12,7 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any
 
-from repro.core.errors import PipelineError, TableError
+from repro.core.errors import PacketFormatError, PipelineError, TableError
 from repro.dataplane.actions import PacketContext
 from repro.dataplane.parser import HeaderParser, ParseResult
 from repro.dataplane.pipeline import Pipeline
@@ -208,9 +208,12 @@ def _packet_bytes(packet: Any, counters: SwitchCounters | None = None) -> int:
         return length
     encode = getattr(packet, "encode", None)
     if callable(encode):
+        # Only the errors a malformed packet's serializer actually raises:
+        # anything else (assertion failures, sanitizer errors, attribute
+        # bugs) must propagate rather than be silently absorbed as "unsized".
         try:
             return len(encode())
-        except Exception:  # noqa: BLE001 - sizing must never kill the pipeline
+        except (TypeError, ValueError, PacketFormatError):
             pass
     if counters is not None:
         counters.unsized_packets += 1

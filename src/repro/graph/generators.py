@@ -54,7 +54,9 @@ def preferential_attachment_graph(
             chosen.add(candidate)
         while len(chosen) < edges_per_vertex:
             chosen.add(rng.choice(repeated_nodes) if repeated_nodes else rng.randrange(new_vertex))
-        for neighbor in chosen:
+        # Sorted so edge insertion (and thus degree-biased sampling below)
+        # never depends on set iteration order.
+        for neighbor in sorted(chosen):
             graph.add_edge(new_vertex, neighbor)
             repeated_nodes.append(neighbor)
             repeated_nodes.append(new_vertex)

@@ -11,7 +11,6 @@ compute serialized sizes, which the baselines use to account bytes.
 
 from __future__ import annotations
 
-import struct
 from typing import Iterable, Iterator, Sequence
 
 from repro.core.config import DaietConfig

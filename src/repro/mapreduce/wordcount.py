@@ -13,7 +13,7 @@ from __future__ import annotations
 import random
 import string
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import Iterator
 
 from repro.core.aggregation import hash_key
 from repro.core.config import DaietConfig

@@ -9,7 +9,7 @@ the commutative/associative operation DAIET can execute inside the network.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable
 
+from repro.checks.registry import fastpath
 from repro.core.errors import PipelineError, TopologyError
 from repro.core.packet import DaietAck, DaietPacket, DaietPacketType
 from repro.dataplane.actions import ForwardAction, NoAction, PacketContext
@@ -242,6 +243,7 @@ class SwitchDevice(Device):
             and s2.steps[0] is self._fwd_tbl
         )
 
+    @fastpath("switch-delivery", oracle="tests/netsim/test_devices_stats.py")
     def deliver(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
         """Process one packet whose wire size is already known.
 
@@ -383,6 +385,7 @@ class SwitchDevice(Device):
             return action.egress_port
         return _GENERIC_FORWARD
 
+    @fastpath("forwarding-cache", oracle="tests/netsim/test_forwarding_fastpath.py")
     def _fast_forward(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
         """Compiled L3 forwarding for packets that miss the steering table.
 

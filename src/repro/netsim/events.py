@@ -30,6 +30,7 @@ from __future__ import annotations
 from heapq import heapify, heappop, heappush
 from typing import Any, Callable
 
+from repro.checks.registry import fastpath
 from repro.core.errors import SimulationError
 
 #: Compaction is considered once the cancellation set grows past this size
@@ -50,6 +51,7 @@ CALENDAR_THRESHOLD = 65_536
 _MAX_BUCKETS = 1 << 17
 
 
+@fastpath("calendar-queue", oracle="tests/netsim/test_calendar_queue.py")
 class CalendarQueue:
     """A calendar queue over ``(time, seq, callback, args)`` entries.
 

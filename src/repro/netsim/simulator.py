@@ -34,6 +34,11 @@ class SimulatorConfig:
     #: Seed of the random stream deciding per-link packet drops (only used on
     #: links whose ``loss_rate`` is non-zero).
     loss_seed: int = 0
+    #: Run with the runtime invariant sanitizer installed (conservation
+    #: ledger, scheduler and register-leak checks). ``None`` defers to the
+    #: ``REPRO_SANITIZE`` environment variable; the sanitizer costs nothing
+    #: when disabled (no wrapper is installed, no flag is checked per event).
+    sanitize: bool | None = None
 
 
 class NetworkSimulator:
@@ -75,9 +80,21 @@ class NetworkSimulator:
         #: schedule would have produced (reports and benches stay
         #: comparable across PRs).
         self._synthetic_events = 0
+        #: Installed :class:`~repro.checks.sanitize.SimulatorSanitizer`, or
+        #: ``None`` on an ordinary (unsanitized) simulator.
+        self.sanitizer = None
         self._build_port_maps()
         if self.config.auto_install_routes:
             self.install_routes()
+        sanitize = self.config.sanitize
+        if sanitize is None:
+            from repro.checks.sanitize import sanitize_enabled_in_env
+
+            sanitize = sanitize_enabled_in_env()
+        if sanitize:
+            from repro.checks.sanitize import install_sanitizer
+
+            install_sanitizer(self)
 
     def _build_port_maps(self) -> None:
         for name in self.topology.devices:

@@ -1,0 +1,16 @@
+"""Fixture: mutable default arguments (determinism lint)."""
+
+
+class Collector:
+    def __init__(self, sinks=[]):
+        self.sinks = sinks
+
+
+def merge(base, extra={}):
+    base.update(extra)
+    return base
+
+
+def batch(items, *, seen=set()):
+    seen.update(items)
+    return seen

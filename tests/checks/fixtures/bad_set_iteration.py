@@ -1,0 +1,16 @@
+"""Fixture: iteration over unordered sets (determinism lint)."""
+
+
+def drain(callbacks):
+    pending = {"a", "b", "c"}
+    for name in pending:
+        callbacks[name]()
+
+
+def fanout(ports):
+    for port in set(ports):
+        yield port
+
+
+def collect(items):
+    return [x * 2 for x in {1, 2, 3}] + list(items)

@@ -1,0 +1,20 @@
+"""Fixture: draws from the unseeded module-level RNG (determinism lint)."""
+
+import random
+from random import randint
+
+
+def jitter() -> float:
+    return random.random() * 0.5
+
+
+def pick(n: int) -> int:
+    return randint(0, n)
+
+
+def fresh_stream():
+    return random.Random()
+
+
+def entropy_stream():
+    return random.SystemRandom()

@@ -1,0 +1,18 @@
+"""Fixture: wall-clock reads outside the allowlist (determinism lint)."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def measure() -> float:
+    start = perf_counter()
+    return perf_counter() - start
+
+
+def tag() -> str:
+    return datetime.now().isoformat()

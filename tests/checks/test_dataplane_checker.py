@@ -1,0 +1,173 @@
+"""Dataplane config checker: clean pipelines pass, seeded faults are caught."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.checks.dataplane import check_simulator, check_switch, check_table
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.dataplane.actions import ForwardAction
+from repro.dataplane.tables import FlowRule, MatchActionTable
+
+
+def build_system(**config_kwargs) -> DaietSystem:
+    config = DaietConfig(register_slots=256, pairs_per_packet=4, **config_kwargs)
+    system = DaietSystem.single_rack(4, config=config)
+    system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+    return system
+
+
+@pytest.fixture
+def system() -> DaietSystem:
+    return build_system()
+
+
+class TestCleanPipelines:
+    def test_installed_job_has_no_findings(self, system):
+        assert check_simulator(system.simulator) == []
+
+    def test_reliable_job_has_no_findings(self):
+        reliable = build_system(reliability=True)
+        assert check_simulator(reliable.simulator) == []
+
+
+class TestSteeringChecks:
+    def test_dead_egress_port_is_flagged(self, system):
+        engine = system.engine("tor")
+        tree = engine.tree(next(iter(engine._trees)))
+        tree.egress_port = 63  # within range on a 64-port switch, but uncabled
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "dead-egress-port" for f in findings)
+        assert any("no link attached" in f.message for f in findings)
+
+    def test_out_of_range_child_port_is_flagged(self, system):
+        engine = system.engine("tor")
+        tree = engine.tree(next(iter(engine._trees)))
+        tree.child_ports["h0"] = 200
+        findings = check_simulator(system.simulator)
+        assert any(
+            f.rule == "dead-egress-port" and "0..63 range" in f.message
+            for f in findings
+        )
+
+    def test_unconfigured_tree_is_flagged(self, system):
+        engine = system.engine("tor")
+        tree_id = next(iter(engine._trees))
+        del engine._trees[tree_id]
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "steering-unconfigured-tree" for f in findings)
+
+    def test_unsteered_tree_is_flagged(self, system):
+        device = system.simulator.switch("tor")
+        tree_id = next(iter(system.engine("tor")._trees))
+        device.daiet_table.remove({"tree_id": tree_id})
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "steering-missing-entry" for f in findings)
+
+
+class TestTableChecks:
+    def test_duplicate_exact_entries_are_flagged(self, system):
+        device = system.simulator.switch("tor")
+        table = device.forwarding_table
+        # install() rejects duplicates, so seed the corruption directly the
+        # way a buggy bulk-loader would.
+        table._entries.append(table._entries[0])
+        findings = check_switch(device)
+        assert any(f.rule == "table-duplicate-key" for f in findings)
+
+    def test_shadowed_ternary_entry_is_flagged(self):
+        table = MatchActionTable("acl", match_fields=("dst",), match_kind="ternary")
+        table.register_action("fwd", ForwardAction)
+        table.install(
+            FlowRule.create("acl", match={"dst": "*"}, action_name="fwd", priority=10)
+        )
+        table.install(
+            FlowRule.create("acl", match={"dst": "h1"}, action_name="fwd", priority=1)
+        )
+        findings = check_table(table, path="<test>")
+        assert [f.rule for f in findings] == ["table-shadowed-entry"]
+
+    def test_non_overlapping_ternary_entries_are_clean(self):
+        table = MatchActionTable("acl", match_fields=("dst",), match_kind="ternary")
+        table.register_action("fwd", ForwardAction)
+        table.install(
+            FlowRule.create("acl", match={"dst": "h1"}, action_name="fwd", priority=5)
+        )
+        table.install(
+            FlowRule.create("acl", match={"dst": "h2"}, action_name="fwd", priority=5)
+        )
+        assert check_table(table, path="<test>") == []
+
+    def test_forward_entry_to_dead_port_is_flagged(self, system):
+        device = system.simulator.switch("tor")
+        entry = device.forwarding_table._entries[0]
+        assert isinstance(entry.action, ForwardAction)
+        object.__setattr__(entry.action, "egress_port", 60)
+        findings = check_switch(
+            device, live_ports={0, 1, 2, 3}, path="<test>"
+        )
+        assert any(f.rule == "dead-egress-port" for f in findings)
+
+
+class TestResourceChecks:
+    def test_parser_budget_overflow_is_flagged(self):
+        # 64-byte keys x 16 pairs blows the default 300-byte parse budget.
+        system = DaietSystem.single_rack(
+            4, config=DaietConfig(register_slots=64, key_width=64, pairs_per_packet=16)
+        )
+        system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "parser-budget-exceeded" for f in findings)
+
+    def test_spillover_capacity_mismatch_is_flagged(self, system):
+        tree = system.engine("tor").tree(next(iter(system.engine("tor")._trees)))
+        tree.spillover.capacity = 99
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "spillover-capacity-mismatch" for f in findings)
+
+    def test_index_stack_capacity_mismatch_is_flagged(self, system):
+        tree = system.engine("tor").tree(next(iter(system.engine("tor")._trees)))
+        tree.index_stack.capacity = 16
+        findings = check_simulator(system.simulator)
+        assert any(f.rule == "register-capacity-mismatch" for f in findings)
+
+    def test_released_sram_allocation_is_flagged(self, system):
+        device = system.simulator.switch("tor")
+        tree_id = next(iter(system.engine("tor")._trees))
+        device.switch.ledger.release_sram(f"tree{tree_id}")
+        findings = check_simulator(system.simulator)
+        assert any(
+            f.rule == "sram-ledger-mismatch" and "no SRAM allocation" in f.message
+            for f in findings
+        )
+
+
+def _shadow_pair(high, low):
+    table = MatchActionTable(
+        "acl", match_fields=("dst", "proto"), match_kind="ternary"
+    )
+    table.register_action("fwd", ForwardAction)
+    table.install(FlowRule.create("acl", match=high, action_name="fwd", priority=2))
+    table.install(FlowRule.create("acl", match=low, action_name="fwd", priority=1))
+    return check_table(table, path="<test>")
+
+
+class TestShadowSemantics:
+    def test_wildcard_field_shadows_specific(self):
+        findings = _shadow_pair(
+            {"dst": "h1", "proto": "*"}, {"dst": "h1", "proto": "udp"}
+        )
+        assert [f.rule for f in findings] == ["table-shadowed-entry"]
+
+    def test_specific_does_not_shadow_wildcard(self):
+        findings = _shadow_pair(
+            {"dst": "h1", "proto": "udp"}, {"dst": "h1", "proto": "*"}
+        )
+        assert findings == []
+
+    def test_disjoint_values_do_not_shadow(self):
+        findings = _shadow_pair(
+            {"dst": "h1", "proto": "udp"}, {"dst": "h1", "proto": "tcp"}
+        )
+        assert findings == []

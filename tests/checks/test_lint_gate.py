@@ -1,0 +1,39 @@
+"""Tier-1 lint gate: the repo tree must lint clean, end to end.
+
+This is the "clean-tree run proving zero findings" required alongside the
+seeded-violation corpus: a lint regression anywhere in ``src/repro``
+(nondeterministic draw, unregistered fast path, misconfigured reference
+pipeline) fails the test suite, not just the CLI.
+"""
+
+from __future__ import annotations
+
+from repro.checks.lint import run_lint
+from repro.checks.parity import REQUIRED_FASTPATHS, check_fastpath_parity
+from repro.checks.registry import registered_fastpaths
+from repro.cli import main
+
+
+class TestCleanTree:
+    def test_repo_tree_lints_clean(self):
+        report = run_lint()
+        assert report.ok, "\n" + report.render()
+        assert report.checked == (
+            "determinism",
+            "fastpath-parity",
+            "dataplane-config",
+        )
+
+    def test_all_shipped_fastpaths_are_registered(self):
+        assert check_fastpath_parity() == []
+        assert REQUIRED_FASTPATHS <= set(registered_fastpaths())
+
+    def test_cli_lint_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "repro lint: clean" in capsys.readouterr().out
+
+    def test_render_summarises_findings(self):
+        report = run_lint()
+        assert report.render().endswith(
+            "repro lint: clean (determinism, fastpath-parity, dataplane-config)"
+        )

@@ -1,0 +1,74 @@
+"""Sanitized runs must be byte-identical to unsanitized runs.
+
+The sanitizer's contract is observability without interference: with
+``REPRO_SANITIZE=1`` the loss-sweep and wordcount experiments must produce
+byte-identical reports, and a 256-worker scale run identical deterministic
+measurements, while every ledger/leak assertion stays green. Marked
+``perf`` (these re-run full experiment workloads twice).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.checks.sanitize import SANITIZE_ENV
+from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
+from repro.experiments.figure_scale import ScaleSettings, run_scale_once
+
+pytestmark = pytest.mark.perf
+
+
+def _scale_settings() -> ScaleSettings:
+    return dataclasses.replace(
+        ScaleSettings().quick(),
+        worker_counts=(256,),
+        workers_per_leaf=16,
+        spines=4,
+    )
+
+
+def _deterministic_fields(run) -> tuple:
+    """Every ScaleRun field except the wall-clock throughput columns."""
+    return (
+        run.workers,
+        run.fabric,
+        run.switches,
+        run.hosts,
+        run.exact,
+        run.events,
+        run.link_packets,
+        run.link_bytes,
+        run.losses,
+        run.retransmissions,
+        run.duplicates_filtered,
+        run.sim_seconds,
+        run.reducer_packets,
+    )
+
+
+class TestSanitizedEquivalence:
+    def test_loss_sweep_report_byte_identical(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        plain = run_loss_sweep(LossSweepSettings().quick()).report
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitized = run_loss_sweep(LossSweepSettings().quick()).report
+        assert plain == sanitized
+
+    def test_figure3_report_byte_identical(self, monkeypatch):
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        plain = run_figure3(Figure3Settings().quick()).report
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitized = run_figure3(Figure3Settings().quick()).report
+        assert plain == sanitized
+
+    def test_scale_256_workers_identical_measurements(self, monkeypatch):
+        settings = _scale_settings()
+        monkeypatch.delenv(SANITIZE_ENV, raising=False)
+        plain = run_scale_once(settings, 256)
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        sanitized = run_scale_once(settings, 256)
+        assert sanitized.exact
+        assert _deterministic_fields(plain) == _deterministic_fields(sanitized)

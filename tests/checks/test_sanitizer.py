@@ -1,0 +1,215 @@
+"""Runtime sanitizer: transparency on clean runs, detection on seeded faults."""
+
+from __future__ import annotations
+
+from heapq import heappush
+
+import pytest
+
+from repro.checks.sanitize import (
+    SANITIZE_ENV,
+    install_sanitizer,
+    sanitize_enabled_in_env,
+)
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.core.errors import SanitizerError
+from repro.core.packet import DaietPacket
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
+from repro.netsim.topology import single_rack
+
+
+def build_system(sanitize: bool | None, **config_kwargs) -> DaietSystem:
+    config = DaietConfig(register_slots=64, pairs_per_packet=4, **config_kwargs)
+    system = DaietSystem.single_rack(
+        4, config=config, simulator_config=SimulatorConfig(sanitize=sanitize)
+    )
+    system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+    return system
+
+
+def run_job(system: DaietSystem):
+    for mapper in ("h0", "h1", "h2"):
+        system.send_pairs(mapper, "h3", [(f"key{i}", i + 1) for i in range(24)])
+    events = system.run()
+    return events, system.simulator.stats.snapshot(), system.receiver("h3").result()
+
+
+class TestTransparency:
+    def test_sanitized_run_is_byte_identical(self):
+        plain = run_job(build_system(sanitize=False))
+        sanitized = run_job(build_system(sanitize=True))
+        assert plain == sanitized
+
+    def test_reliable_sanitized_run_is_byte_identical(self):
+        plain = run_job(build_system(sanitize=False, reliability=True))
+        sanitized = run_job(build_system(sanitize=True, reliability=True))
+        assert plain == sanitized
+
+    def test_sanitizer_attribute_reflects_mode(self):
+        assert build_system(sanitize=False).simulator.sanitizer is None
+        system = build_system(sanitize=True)
+        assert system.simulator.sanitizer is not None
+        ledger = system.simulator.sanitizer.ledger
+        run_job(system)
+        assert ledger.sent.get("DaietPacket", 0) > 0
+        assert all(ledger.in_flight(cls) == 0 for cls in ledger.classes())
+
+    def test_env_variable_enables_sanitizer(self, monkeypatch):
+        monkeypatch.setenv(SANITIZE_ENV, "1")
+        assert sanitize_enabled_in_env()
+        sim = NetworkSimulator(single_rack(2))
+        assert sim.sanitizer is not None
+
+    def test_env_variable_off_values(self, monkeypatch):
+        for value in ("", "0", "no", "off", "false"):
+            monkeypatch.setenv(SANITIZE_ENV, value)
+            assert not sanitize_enabled_in_env()
+
+
+class TestConservationLedger:
+    def test_phantom_delivery_is_detected(self):
+        system = build_system(sanitize=True)
+        sanitizer = system.simulator.sanitizer
+        host = system.simulator.host("h3")
+        packet = DaietPacket(
+            tree_id=1, src="h0", dst="h3", pairs=(("k", 1),),
+            config=system.config,
+        )
+        # A delivery with no matching send: negative in-flight balance.
+        host.deliver(packet, 64)
+        with pytest.raises(SanitizerError, match="conservation violated"):
+            sanitizer.check()
+
+    def test_unaccounted_send_fails_at_quiescence(self):
+        system = build_system(sanitize=True)
+        sanitizer = system.simulator.sanitizer
+        packet = DaietPacket(
+            tree_id=1, src="h0", dst="h3", pairs=(("k", 1),),
+            config=system.config,
+        )
+        # Count a send that never enters the network.
+        sanitizer.ledger.sent["DaietPacket"] = (
+            sanitizer.ledger.sent.get("DaietPacket", 0) + 1
+        )
+        assert packet is not None
+        with pytest.raises(SanitizerError, match="unaccounted for at quiescence"):
+            sanitizer.check()
+
+    def test_clean_run_balances(self):
+        system = build_system(sanitize=True)
+        run_job(system)
+        system.simulator.sanitizer.check()  # must not raise
+
+
+class TestSchedulerChecks:
+    def test_past_scheduled_event_trips_monotonicity(self):
+        system = build_system(sanitize=True)
+        sim = system.simulator
+        sim.scheduler.now = 5.0
+        # Seed a poisoned entry directly into the heap, bypassing the
+        # schedule-time validation (models a buggy fast path).
+        heappush(sim.scheduler._queue, (1.0, sim.scheduler._seq, lambda: None, ()))
+        sim.scheduler._seq += 1
+        with pytest.raises(SanitizerError, match="monotonicity"):
+            sim.run()
+
+    def test_corrupt_heap_is_detected(self):
+        system = build_system(sanitize=True)
+        sim = system.simulator
+        scheduler = sim.scheduler
+        for t in (3.0, 1.0, 2.0, 5.0, 4.0):
+            scheduler.push_at(t, lambda: None, ())
+        # Scramble the heap order behind the scheduler's back.
+        scheduler._queue.sort(key=lambda entry: -entry[0])
+        with pytest.raises(SanitizerError, match="heap invariant"):
+            sim.sanitizer.check_backend_invariant()
+
+    def test_misfiled_calendar_entry_is_detected(self):
+        system = build_system(sanitize=True)
+        sim = system.simulator
+        scheduler = sim.scheduler
+        for t in (1.0, 2.0, 3.0):
+            scheduler.push_at(t, lambda: None, ())
+        scheduler._activate_calendar()
+        cal = scheduler._cal
+        entry = next(b for b in cal.buckets if b)[0]
+        expected = int(entry[0] * cal.inv_width) & cal.mask
+        # File a copy into an empty bucket where it does not belong.
+        wrong = next(
+            i for i, b in enumerate(cal.buckets) if not b and i != expected
+        )
+        cal.buckets[wrong].append(entry)
+        cal.count += 1
+        with pytest.raises(SanitizerError, match="belongs in bucket"):
+            sim.sanitizer.check_backend_invariant()
+
+    def test_calendar_count_drift_is_detected(self):
+        system = build_system(sanitize=True)
+        scheduler = system.simulator.scheduler
+        scheduler.push_at(1.0, lambda: None, ())
+        scheduler._activate_calendar()
+        scheduler._cal.count += 3
+        with pytest.raises(SanitizerError, match="does not match"):
+            system.simulator.sanitizer.check_backend_invariant()
+
+
+class TestRegisterLeaks:
+    def _tree(self, system):
+        engine = system.engine("tor")
+        return engine.tree(next(iter(engine._trees)))
+
+    def test_leaked_slot_is_detected(self):
+        system = build_system(sanitize=True)
+        tree = self._tree(system)
+        tree.key_register.write(7, "leaked-key")
+        tree.value_register.write(7, 1)
+        with pytest.raises(SanitizerError, match="not recorded on the index stack"):
+            system.simulator.sanitizer.check_registers()
+
+    def test_orphaned_stack_slot_is_detected(self):
+        system = build_system(sanitize=True)
+        tree = self._tree(system)
+        tree.index_stack.push(3)
+        with pytest.raises(SanitizerError, match="key cells are empty"):
+            system.simulator.sanitizer.check_registers()
+
+    def test_key_without_value_is_detected(self):
+        system = build_system(sanitize=True)
+        tree = self._tree(system)
+        tree.key_register.write(2, "k")
+        tree.index_stack.push(2)
+        with pytest.raises(SanitizerError, match="holds a key but no value"):
+            system.simulator.sanitizer.check_registers()
+
+    def test_slots_must_rearm_after_round(self):
+        system = build_system(sanitize=True)
+        run_job(system)
+        tree = self._tree(system)
+        assert tree.counters.final_flushes > 0
+        # The completed round left everything clean...
+        system.simulator.sanitizer.check_registers()
+        # ...but a slot that failed to rearm is caught.
+        tree.key_register.write(5, "stale")
+        tree.value_register.write(5, 9)
+        tree.index_stack.push(5)
+        with pytest.raises(SanitizerError, match="did not rearm"):
+            system.simulator.sanitizer.check_registers()
+
+    def test_stale_spillover_after_round_is_detected(self):
+        system = build_system(sanitize=True)
+        run_job(system)
+        tree = self._tree(system)
+        tree.spillover.store("stale", 1)
+        with pytest.raises(SanitizerError, match="spillover bucket still holds"):
+            system.simulator.sanitizer.check_registers()
+
+    def test_duplicate_stack_entries_are_detected(self):
+        system = build_system(sanitize=True)
+        tree = self._tree(system)
+        tree.key_register.write(4, "k")
+        tree.value_register.write(4, 1)
+        tree.index_stack.push(4)
+        tree.index_stack.push(4)
+        with pytest.raises(SanitizerError, match="duplicate slots"):
+            system.simulator.sanitizer.check_registers()

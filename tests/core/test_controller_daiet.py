@@ -8,7 +8,6 @@ from repro.core.config import DaietConfig
 from repro.core.controller import DaietController
 from repro.core.daiet import DaietSystem
 from repro.core.errors import ControllerError
-from repro.netsim.devices import DAIET_TABLE
 from repro.netsim.topology import leaf_spine, single_rack
 
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from hypothesis import given, settings, strategies as st
 
 from repro.core.tree import AggregationTree
-from repro.netsim.topology import Topology, fat_tree, leaf_spine, single_rack
+from repro.netsim.topology import fat_tree, leaf_spine, single_rack
 
 
 @st.composite

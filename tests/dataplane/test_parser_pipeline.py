@@ -7,7 +7,7 @@ import pytest
 from repro.core.config import DaietConfig
 from repro.core.errors import PacketFormatError, PipelineError, ResourceExhaustedError
 from repro.core.packet import DaietPacket
-from repro.dataplane.actions import DropAction, ForwardAction, PacketContext
+from repro.dataplane.actions import DropAction, ForwardAction
 from repro.dataplane.parser import HeaderParser
 from repro.dataplane.pipeline import Pipeline
 from repro.dataplane.resources import SwitchResources
