@@ -6,7 +6,7 @@ drives the fast path and the generic path side by side. This checker
 imports the known fast-path modules (registration happens at import time),
 then verifies:
 
-* every *required* fast path name is registered (the four compiled paths
+* every *required* fast path name is registered (the five compiled paths
   the repo ships today are hard-required, so deleting a decorator fails
   lint rather than silently dropping coverage);
 * every registered fast path's oracle module exists on disk;
@@ -27,6 +27,7 @@ from repro.checks.registry import FastPathInfo, registered_fastpaths
 FASTPATH_MODULES: tuple[str, ...] = (
     "repro.netsim.events",
     "repro.netsim.devices",
+    "repro.netsim.faults",
     "repro.dataplane.registers",
     "repro.core.aggregation",
 )
@@ -39,6 +40,7 @@ REQUIRED_FASTPATHS: frozenset[str] = frozenset(
         "switch-delivery",
         "forwarding-cache",
         "sum-register-loop",
+        "fault-gate",
     }
 )
 

@@ -5,8 +5,11 @@ the sanitizer wraps one :class:`~repro.netsim.simulator.NetworkSimulator`
 instance with:
 
 * a **conservation ledger** asserting, per packet class, that
-  ``sent + switch_out == delivered + lost_or_dropped + switch_in`` once the
-  event queue drains (and that in-flight never goes negative mid-run);
+  ``sent + switch_out == delivered + lost_or_dropped + switch_in + faulted``
+  once the event queue drains (and that in-flight never goes negative
+  mid-run); the ``faulted`` bucket is fed by the fault injector
+  (:mod:`repro.netsim.faults`) for packets destroyed by crashed devices or
+  downed links;
 * **sim-time monotonicity** and **dispatch-order** checks on every event,
   plus periodic **backend structural invariants** (binary-heap property on
   the heap backend; bucket filing and per-bucket heap property on the
@@ -68,6 +71,11 @@ class ConservationLedger:
         self.lost_or_dropped: dict[str, int] = {}
         self.switch_in: dict[str, int] = {}
         self.switch_out: dict[str, int] = {}
+        #: Packets destroyed by an injected fault (crashed device, downed
+        #: link). A separate consumed-side bucket — not folded into
+        #: ``lost_or_dropped`` — so churn runs under ``REPRO_SANITIZE=1``
+        #: balance without hiding fault damage inside ordinary loss.
+        self.faulted: dict[str, int] = {}
 
     @staticmethod
     def _bump(table: dict[str, int], cls: str) -> None:
@@ -82,6 +90,7 @@ class ConservationLedger:
             self.lost_or_dropped,
             self.switch_in,
             self.switch_out,
+            self.faulted,
         ):
             names.update(table)
         return sorted(names)
@@ -93,6 +102,7 @@ class ConservationLedger:
             self.delivered.get(cls, 0)
             + self.lost_or_dropped.get(cls, 0)
             + self.switch_in.get(cls, 0)
+            + self.faulted.get(cls, 0)
         )
         return produced - consumed
 
@@ -104,6 +114,7 @@ class ConservationLedger:
             "lost_or_dropped": dict(self.lost_or_dropped),
             "switch_in": dict(self.switch_in),
             "switch_out": dict(self.switch_out),
+            "faulted": dict(self.faulted),
         }
 
     def check(self, *, quiescent: bool) -> None:
@@ -118,13 +129,14 @@ class ConservationLedger:
                     f"switch_out={self.switch_out.get(cls, 0)}, "
                     f"delivered={self.delivered.get(cls, 0)}, "
                     f"lost_or_dropped={self.lost_or_dropped.get(cls, 0)}, "
-                    f"switch_in={self.switch_in.get(cls, 0)})"
+                    f"switch_in={self.switch_in.get(cls, 0)}, "
+                    f"faulted={self.faulted.get(cls, 0)})"
                 )
             if quiescent and balance != 0:
                 raise SanitizerError(
                     f"conservation violated for {cls}: {balance} packets "
                     "unaccounted for at quiescence (sent + switch_out != "
-                    "delivered + lost_or_dropped + switch_in)"
+                    "delivered + lost_or_dropped + switch_in + faulted)"
                 )
 
 

@@ -9,6 +9,8 @@ Usage::
     python -m repro loss-sweep [--quick]
     python -m repro scale [--quick] [--fabric leaf_spine|fat_tree]
                           [--workers N] [--compare-baselines]
+    python -m repro churn [--quick] [--reliability]
+                          [--scenario spine-kill|flap|straggler|hotspot|all]
     python -m repro all   [--quick]
     python -m repro lint  [--root PATH]
 
@@ -38,6 +40,7 @@ from repro.experiments.figure1_ml import (
     run_figure1b,
 )
 from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+from repro.experiments.figure_churn import SCENARIOS, ChurnSettings, run_churn
 from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
 from repro.experiments.figure_scale import ScaleSettings, run_scale
 
@@ -117,6 +120,16 @@ def run_scale_cmd(args: argparse.Namespace) -> str:
     return run_scale(settings).report
 
 
+def run_churn_cmd(args: argparse.Namespace) -> str:
+    """Fault churn: crash/flap/straggler/hotspot with failover recovery."""
+    settings = ChurnSettings().quick() if args.quick else ChurnSettings()
+    if getattr(args, "reliability", False):
+        settings = dataclasses.replace(settings, reliability=True)
+    scenario = getattr(args, "scenario", "all")
+    scenarios = SCENARIOS if scenario == "all" else (scenario,)
+    return run_churn(settings, scenarios).report
+
+
 def run_lint_cmd(args: argparse.Namespace) -> tuple[str, int]:
     """Static checks: determinism lint, fast-path parity, dataplane config."""
     from repro.checks.lint import run_lint
@@ -145,6 +158,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "fig3": run_fig3,
     "loss-sweep": run_loss_sweep_cmd,
     "scale": run_scale_cmd,
+    "churn": run_churn_cmd,
     "all": run_all,
 }
 
@@ -181,6 +195,20 @@ def build_parser() -> argparse.ArgumentParser:
                 action="store_true",
                 help="run the DAIET transport with the end-host reliability "
                 "layer enabled",
+            )
+        if name == "churn":
+            sub.add_argument(
+                "--reliability",
+                action="store_true",
+                help="enable the reliability layer with replay retention so "
+                "failover recovery is bit-exact (off: bounded, reported "
+                "aggregate deficits)",
+            )
+            sub.add_argument(
+                "--scenario",
+                choices=SCENARIOS + ("all",),
+                default="all",
+                help="run one churn scenario instead of all four",
             )
         if name == "scale":
             sub.add_argument(

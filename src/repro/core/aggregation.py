@@ -90,6 +90,12 @@ class TreeState:
     #: Egress port towards each direct child (device name -> port), used to
     #: route reliability ACKs back down the tree.
     child_ports: dict[str, int] = field(default_factory=dict)
+    #: Direct children that are switches, in sorted order. Pull ACKs are
+    #: forwarded to these when this switch has nothing left to resend: a
+    #: tail loss above this hop is invisible here (no SACK gap ever forms),
+    #: so the pull must climb the tree until it reaches the buffer that
+    #: still holds the lost flush.
+    switch_children: tuple[str, ...] = ()
     key_register: RegisterArray = field(init=False)
     value_register: RegisterArray = field(init=False)
     index_stack: IndexStack = field(init=False)
@@ -177,6 +183,7 @@ class DaietAggregationEngine:
         next_hop_dst: str,
         config: DaietConfig | None = None,
         child_ports: dict[str, int] | None = None,
+        switch_children: tuple[str, ...] = (),
     ) -> TreeState:
         """Install (or replace) the state for one aggregation tree."""
         if isinstance(function, str):
@@ -190,6 +197,7 @@ class DaietAggregationEngine:
             next_hop_dst=next_hop_dst,
             switch_name=self.switch_name,
             child_ports=dict(child_ports or {}),
+            switch_children=tuple(sorted(switch_children)),
         )
         self._trees[tree_id] = state
         return state
@@ -318,6 +326,29 @@ class DaietAggregationEngine:
             state._retransmitted.add(seq)
             state.counters.retransmitted_packets += 1
             out.append((state.egress_port, state._unacked[seq]))
+        if ack.pull and not state._unacked:
+            # Nothing buffered here, yet the receiver is still missing data:
+            # the hole is above this switch (e.g. a whole flush burst lost on
+            # a downed trunk link, which leaves no SACK gap anywhere below
+            # it). Recurse the pull towards the switch children so whichever
+            # ancestor still buffers the flush resends it. Host children are
+            # skipped — their sender channels run their own retransmit
+            # timers.
+            for child in state.switch_children:
+                port = state.child_ports.get(child)
+                if port is not None:
+                    state.counters.acks_sent += 1
+                    out.append(
+                        (
+                            port,
+                            DaietAck(
+                                tree_id=ack.tree_id,
+                                src=self.switch_name,
+                                dst=child,
+                                pull=True,
+                            ),
+                        )
+                    )
         return out
 
     # ------------------------------------------------------------------ #

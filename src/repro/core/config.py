@@ -89,6 +89,12 @@ class DaietConfig:
         Per-channel cap on consecutive unacknowledged retransmission rounds
         before the sender gives up and raises, bounding simulation time on
         pathological loss rates.
+    retain_for_replay:
+        Keep every sent packet (not just unacknowledged ones) in the host
+        sender channels so the failover manager can replay a mapper's whole
+        stream through a re-planned aggregation tree after a switch crash.
+        The map-output buffer doubles as the recovery log; requires
+        ``reliability`` to be effective.
     """
 
     register_slots: int = DEFAULT_REGISTER_SLOTS
@@ -102,6 +108,7 @@ class DaietConfig:
     retransmit_timeout: float = 1e-4
     ack_window: int = 8
     max_retransmits: int = 30
+    retain_for_replay: bool = False
 
     def __post_init__(self) -> None:
         if self.register_slots <= 0:

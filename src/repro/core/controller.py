@@ -132,9 +132,10 @@ class DaietController:
             engine = self._engine_for(device)
             egress_port = self.topology.port_towards(node.name, node.parent)
             num_children = tree.children_count(node.name)
+            children = tree.node(node.name).children
             child_ports = {
                 child: self.topology.port_towards(node.name, child)
-                for child in tree.node(node.name).children
+                for child in children
             }
             state = engine.configure_tree(
                 tree_id=tree.tree_id,
@@ -144,6 +145,11 @@ class DaietController:
                 next_hop_dst=tree.reducer,
                 config=self.config,
                 child_ports=child_ports,
+                switch_children=tuple(
+                    child
+                    for child in children
+                    if isinstance(self.topology.get(child), SwitchDevice)
+                ),
             )
             device.switch.ledger.allocate_sram(
                 owner=f"tree{tree.tree_id}", nbytes=state.config.sram_bytes()
@@ -168,22 +174,71 @@ class DaietController:
         return self.engines[device.name]
 
     # ------------------------------------------------------------------ #
-    # Teardown and introspection
+    # Teardown, re-planning and introspection
     # ------------------------------------------------------------------ #
+    def _teardown_tree(self, tree: AggregationTree) -> None:
+        """Release everything one tree holds on its switches.
+
+        Engine state, the steering entry, the SRAM allocation *and* the
+        compiled-path steering memo are all dropped, so repeated
+        install/teardown cycles (failover re-plans) leak nothing. Safe on
+        crashed switches whose tables were already wiped: every removal is
+        idempotent.
+        """
+        for node in tree.switches():
+            device = self.topology.get(node.name)
+            if not isinstance(device, SwitchDevice):
+                continue
+            engine = self.engines.get(node.name)
+            if engine is not None:
+                engine.remove_tree(tree.tree_id)
+            device.daiet_table.remove({"tree_id": tree.tree_id})
+            device.switch.ledger.release_sram(f"tree{tree.tree_id}")
+            # The steering memo is keyed by tree id; version bumps already
+            # invalidate stale entries, but dead ids would otherwise pile up
+            # across re-plan cycles.
+            device._fast_cache.pop(tree.tree_id, None)
+
     def remove_job(self, job: InstalledJob) -> None:
         """Remove a job's trees, rules and SRAM allocations."""
         for tree in job.trees.values():
-            for node in tree.switches():
-                device = self.topology.get(node.name)
-                if not isinstance(device, SwitchDevice):
-                    continue
-                engine = self.engines.get(node.name)
-                if engine is not None:
-                    engine.remove_tree(tree.tree_id)
-                device.daiet_table.remove({"tree_id": tree.tree_id})
-                device.switch.ledger.release_sram(f"tree{tree.tree_id}")
+            self._teardown_tree(tree)
         if job in self.jobs:
             self.jobs.remove(job)
+
+    def replan_tree(
+        self,
+        job: InstalledJob,
+        reducer: str,
+        exclude: Iterable[str] = (),
+    ) -> AggregationTree:
+        """Re-plan one reducer's tree around the devices in ``exclude``.
+
+        The old tree is fully torn down (resources released on every
+        surviving switch) and a replacement is built through the remaining
+        fabric under a **fresh tree id** — a new epoch. The new id makes
+        every stray packet of the dead epoch harmless: without a steering
+        entry it is plain-forwarded, and receivers filter by tree id.
+
+        Raises :class:`~repro.core.errors.RoutingError` when a mapper
+        cannot reach the reducer without the excluded devices; the old
+        tree's resources stay released in that case (the job is degraded,
+        not half-installed).
+        """
+        old = job.tree_for_reducer(reducer)
+        self._teardown_tree(old)
+        tree = AggregationTree.build(
+            self.topology,
+            tree_id=self._next_tree_id,
+            reducer=reducer,
+            mappers=old.mappers,
+            exclude=exclude,
+        )
+        self._next_tree_id += 1
+        function_obj = get_function(job.allocation.function_name)
+        job.rules_installed += self._install_tree(tree, function_obj)
+        job.trees[reducer] = tree
+        return tree
 
     def engine(self, switch_name: str) -> DaietAggregationEngine:
         """The aggregation engine installed on a switch."""

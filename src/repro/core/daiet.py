@@ -96,6 +96,19 @@ class DaietReceiver:
         """The aggregated key-value map received so far."""
         return dict(self._values)
 
+    def reset(self, tree_id: int, expected_ends: int) -> None:
+        """Rebind the receiver to a replacement tree epoch (failover).
+
+        Partial values from the dead epoch are discarded — the failover
+        manager replays every mapper's full stream through the re-planned
+        tree, so keeping them would double-count. ``tree_id`` filtering in
+        :meth:`receive` then makes stray old-epoch packets harmless.
+        """
+        self.tree_id = tree_id
+        self.expected_ends = expected_ends
+        self._values.clear()
+        self._ends_seen = 0
+
 
 class DaietSystem:
     """Facade bundling topology, simulator, controller and host helpers."""
@@ -137,6 +150,14 @@ class DaietSystem:
                 self.simulator, host, self.config
             )
         return self._agents[host]
+
+    def agent(self, host: str) -> "HostReliabilityAgent":
+        """Public accessor for a host's reliability endpoint.
+
+        The failover manager uses this to reach sender histories and to
+        re-attach receive state when a tree is re-planned.
+        """
+        return self._agent(host)
 
     def reliability_stats(self) -> dict[str, dict[str, int]]:
         """Per-host reliability counters (empty when reliability is off)."""

@@ -52,12 +52,18 @@ class AggregationTree:
         tree_id: int,
         reducer: str,
         mappers: Iterable[str],
+        exclude: Iterable[str] | None = None,
     ) -> "AggregationTree":
         """Build the tree from the topology's shortest paths.
 
         Every node's parent is the next hop on *its own* shortest path towards
         the reducer, which guarantees the union of parent pointers is a tree
         even when different mappers' paths overlap.
+
+        ``exclude`` removes devices (crashed or overloaded switches) from
+        the path computation, so the controller can re-plan a tree around
+        a failure; an unreachable mapper raises
+        :class:`~repro.core.errors.RoutingError`.
         """
         mapper_list = tuple(mappers)
         if not mapper_list:
@@ -81,7 +87,7 @@ class AggregationTree:
         # One BFS towards the reducer serves every mapper's path (the paths
         # are identical to per-mapper shortest_path calls, including the
         # deterministic ECMP choice).
-        paths = paths_towards(topology, reducer, mapper_list)
+        paths = paths_towards(topology, reducer, mapper_list, exclude=exclude)
         for mapper in mapper_list:
             path = paths[mapper]
             # Walk the path from the mapper towards the reducer, adding each

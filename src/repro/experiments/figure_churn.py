@@ -1,0 +1,537 @@
+"""Fault-churn scenarios: crash, flap, straggler and hotspot under recovery.
+
+The paper's evaluation assumes a healthy fabric: trees are installed once
+and every switch stays up. Real clusters churn — switches crash and
+restart, links flap, stragglers slow a whole round, and naive tree
+placement concentrates load onto one aggregation point. This experiment
+drives the fault-churn engine (:mod:`repro.netsim.faults`), the failover
+manager (:mod:`repro.core.failover`) and the hotspot detector
+(:mod:`repro.analysis.hotspots`) through four scenarios and reports
+recover-vs-static outcomes:
+
+* **spine-kill** — the aggregation spine crashes mid-round. The static arm
+  rides it out (bounded aggregate deficit); the recover arm detects the
+  crash over the heartbeat, re-plans the tree through the surviving spine
+  and replays the retained history. With reliability on the recovered
+  aggregate is bit-identical to the fault-free run.
+* **flap** — seeded random trunk-link flaps while the round is in flight,
+  swept over several flap seeds. Reliability absorbs the gated drops.
+* **straggler** — the tree's spine slows down by a large factor; the
+  recover arm rebalances the tree off the slow spine when the telemetry
+  observer reports the slowdown, finishing earlier than the static arm.
+* **hotspot** — two trees deliberately concentrated on one spine; the
+  online hotspot detector flags the concentration from per-switch traffic
+  stats and triggers controller-driven rebalancing.
+
+Every fault schedule is expressed as a fraction of the measured fault-free
+completion time, so the scenarios stay mid-round at any workload scale.
+All randomness is seeded and the report is deterministic byte for byte.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+
+from repro.analysis.hotspots import HotspotConfig, HotspotDetector, HotspotEvent
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+from repro.core.errors import ReproError
+from repro.core.failover import FailoverConfig, FailoverManager
+from repro.core.functions import SUM, aggregate_pairs
+from repro.netsim.faults import SLOWDOWN_START, FaultPlan, install_faults
+from repro.netsim.simulator import SimulatorConfig
+from repro.netsim.topology import Topology, leaf_spine
+
+#: Scenario names in canonical run/report order.
+SCENARIOS = ("spine-kill", "flap", "straggler", "hotspot")
+
+#: Worker placement on the 2x2 leaf-spine fabric (h0,h1 on leaf0; h2,h3 on
+#: leaf1), so every tree crosses a spine.
+MAPPERS = ("h0", "h1", "h2")
+REDUCER = "h3"
+HOTSPOT_MAPPERS = ("h0", "h1")
+HOTSPOT_REDUCERS = ("h2", "h3")
+
+
+@dataclass(frozen=True)
+class ChurnSettings:
+    """Workload, fault-schedule and recovery knobs for the churn scenarios."""
+
+    #: Per-mapper partition size (the three partitions overlap, so dropped
+    #: packets show up as value deficits, not just missing keys).
+    keys_per_mapper: int = 80
+    #: Run with the PR 1 reliability layer and replay retention; recovery is
+    #: bit-exact only in this mode. Off, every scenario still completes and
+    #: reports its bounded aggregate deficit.
+    reliability: bool = False
+    retransmit_timeout: float = 1e-4
+    #: Crash/slowdown instants as fractions of the fault-free completion
+    #: time, keeping the faults mid-round at any workload scale.
+    crash_fraction: float = 0.35
+    slowdown_fraction: float = 0.2
+    heartbeat_interval: float = 2.5e-4
+    max_heartbeat_ticks: int = 400
+    #: Flap sweep: seeds for :meth:`FaultPlan.random_flaps` plus the flap
+    #: window, again as fractions of the fault-free completion time.
+    flap_seeds: tuple[int, ...] = (7, 8, 9)
+    flap_count: int = 4
+    flap_start_fraction: float = 0.1
+    flap_window_fraction: float = 0.7
+    flap_duration_fraction: float = 0.18
+    #: Straggler slowdown factor on the tree spine's uplinks.
+    slowdown_factor: float = 200.0
+    #: Hotspot scenario: pairs per (mapper, reducer) flow and the detector's
+    #: control-loop tunables (tuned to the microsecond-scale rounds here).
+    hotspot_pairs: int = 300
+    hotspot_sample_interval: float = 2e-6
+    hotspot_share_threshold: float = 0.9
+    hotspot_min_window_packets: int = 5
+    hotspot_max_samples: int = 50
+
+    def quick(self) -> "ChurnSettings":
+        """A fast variant used by unit tests and smoke runs."""
+        return dc_replace(
+            self,
+            keys_per_mapper=40,
+            flap_seeds=self.flap_seeds[:2],
+            hotspot_pairs=160,
+        )
+
+    def daiet_config(self) -> DaietConfig:
+        """The DAIET configuration implied by these settings."""
+        return DaietConfig(
+            reliability=self.reliability,
+            retain_for_replay=self.reliability,
+            retransmit_timeout=self.retransmit_timeout,
+        )
+
+
+@dataclass
+class ArmResult:
+    """Outcome of one arm (one full simulation run) of a scenario."""
+
+    name: str
+    exact: bool
+    done: bool
+    keys: int
+    #: Ground-truth value mass minus received value mass (0 when exact;
+    #: positive = bounded degradation, never negative = never corrupt).
+    value_deficit: int
+    sim_seconds: float
+    fault_drops: int
+
+
+@dataclass
+class ScenarioResult:
+    """All arms of one scenario plus the control/fault logs they produced."""
+
+    scenario: str
+    arms: list[ArmResult] = field(default_factory=list)
+    #: Failover-manager actions, (sim time, description), embedded verbatim.
+    control_log: list[tuple[float, str]] = field(default_factory=list)
+    #: Fault-injector events, same shape.
+    fault_log: list[tuple[float, str]] = field(default_factory=list)
+    #: Free-form deterministic annotations (hotspot events, shares, sweeps).
+    notes: list[str] = field(default_factory=list)
+    #: Simulator events processed across all of the scenario's runs.
+    events: int = 0
+
+    def arm(self, name: str) -> ArmResult:
+        """The named arm."""
+        for arm in self.arms:
+            if arm.name == name:
+                return arm
+        raise ReproError(f"scenario {self.scenario!r} has no arm {name!r}")
+
+
+@dataclass
+class ChurnResult:
+    """Every scenario's result plus the rendered report."""
+
+    settings: ChurnSettings
+    results: dict[str, ScenarioResult] = field(default_factory=dict)
+    report: str = ""
+
+    @property
+    def recovery_exact(self) -> bool:
+        """True when every recovery/ride-through arm matched ground truth."""
+        checked = []
+        for result in self.results.values():
+            for arm in result.arms:
+                if arm.name.startswith(("recover", "flap", "hotspot")):
+                    checked.append(arm.exact)
+        return bool(checked) and all(checked)
+
+
+# ---------------------------------------------------------------------- #
+# Workload and builders
+# ---------------------------------------------------------------------- #
+def _partitions(settings: ChurnSettings) -> dict[str, list[tuple[str, int]]]:
+    """Three overlapping partitions; overlap makes deficits value-visible."""
+    k = settings.keys_per_mapper
+    return {
+        "h0": [(f"k{i}", i) for i in range(k)],
+        "h1": [(f"k{i}", 2 * i) for i in range(k // 2, k + k // 2)],
+        "h2": [(f"k{i}", 3) for i in range(0, 2 * k, 2)],
+    }
+
+
+def _fabric() -> Topology:
+    return leaf_spine(num_leaves=2, num_spines=2, hosts_per_leaf=2)
+
+
+def _build(settings: ChurnSettings):
+    system = DaietSystem(_fabric(), settings.daiet_config(), SimulatorConfig())
+    job = system.install_job(mappers=list(MAPPERS), reducers=[REDUCER])
+    return system, job
+
+
+def _send_all(settings: ChurnSettings, system: DaietSystem) -> None:
+    partitions = _partitions(settings)
+    for mapper in MAPPERS:
+        system.send_pairs(mapper, REDUCER, partitions[mapper])
+
+
+def _truth(settings: ChurnSettings) -> dict[str, int]:
+    partitions = _partitions(settings)
+    return aggregate_pairs(
+        [pair for mapper in MAPPERS for pair in partitions[mapper]], SUM
+    )
+
+
+def _tree_spine(system: DaietSystem, reducer: str = REDUCER) -> str:
+    """The single spine switch the reducer's tree traverses."""
+    tree = system.tree_for(reducer)
+    spines = sorted(
+        node.name for node in tree.switches() if node.name.startswith("spine")
+    )
+    if len(spines) != 1:
+        raise ReproError(f"expected one tree spine, found {spines}")
+    return spines[0]
+
+
+def _trunk_links(system: DaietSystem) -> list[tuple[str, str]]:
+    """Switch-to-switch links (the flap targets), in deterministic order."""
+    hosts = {host.name for host in system.topology.hosts()}
+    return sorted(
+        (link.a.device, link.b.device)
+        for link in system.topology.links
+        if link.a.device not in hosts and link.b.device not in hosts
+    )
+
+
+def _arm(
+    name: str,
+    system: DaietSystem,
+    truth: dict[str, int],
+    reducer: str = REDUCER,
+) -> ArmResult:
+    receiver = system.receiver(reducer)
+    received = receiver.result()
+    return ArmResult(
+        name=name,
+        exact=receiver.done and received == truth,
+        done=receiver.done,
+        keys=len(received),
+        value_deficit=sum(truth.values()) - sum(received.values()),
+        sim_seconds=system.simulator.now,
+        fault_drops=system.simulator.stats.total_fault_drops(),
+    )
+
+
+@dataclass
+class _Baseline:
+    """Fault-free reference shared by the fault-schedule scenarios."""
+
+    truth: dict[str, int]
+    sim_seconds: float
+    arm: ArmResult
+    events: int
+
+
+def run_fault_free(settings: ChurnSettings) -> _Baseline:
+    """The fault-free run: ground truth and the timing base for schedules."""
+    system, _job = _build(settings)
+    truth = _truth(settings)
+    _send_all(settings, system)
+    events = system.run()
+    arm = _arm("fault-free", system, truth)
+    if not arm.exact:
+        raise ReproError("the fault-free churn baseline diverged from ground truth")
+    return _Baseline(
+        truth=truth, sim_seconds=system.simulator.now, arm=arm, events=events
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Scenarios
+# ---------------------------------------------------------------------- #
+def run_spine_kill(
+    settings: ChurnSettings, baseline: _Baseline | None = None
+) -> ScenarioResult:
+    """Crash the tree's spine mid-round; compare static vs failover."""
+    baseline = baseline or run_fault_free(settings)
+    crash_time = settings.crash_fraction * baseline.sim_seconds
+    result = ScenarioResult(scenario="spine-kill", arms=[baseline.arm])
+    result.events += baseline.events
+
+    # Static arm: no failover manager; the crash is absorbed as a bounded
+    # deficit (reliability on terminates via the reducer's pull give-up).
+    system, _job = _build(settings)
+    spine = _tree_spine(system)
+    install_faults(system.simulator, FaultPlan().switch_crash(crash_time, spine))
+    _send_all(settings, system)
+    result.events += system.run()
+    result.arms.append(_arm("static", system, baseline.truth))
+
+    # Recover arm: heartbeat detection, reroute, re-plan, replay.
+    system, _job = _build(settings)
+    spine = _tree_spine(system)
+    injector = install_faults(
+        system.simulator, FaultPlan().switch_crash(crash_time, spine)
+    )
+    manager = FailoverManager(
+        system,
+        injector,
+        FailoverConfig(
+            heartbeat_interval=settings.heartbeat_interval,
+            max_ticks=settings.max_heartbeat_ticks,
+        ),
+    )
+    manager.start()
+    _send_all(settings, system)
+    result.events += system.run()
+    result.arms.append(_arm("recover", system, baseline.truth))
+    result.control_log = list(manager.log)
+    result.fault_log = list(injector.log)
+    result.notes.append(f"crashed {spine} at t={crash_time:.6f}")
+    return result
+
+
+def run_flap(
+    settings: ChurnSettings, baseline: _Baseline | None = None
+) -> ScenarioResult:
+    """Seeded random trunk-link flaps, swept over ``settings.flap_seeds``."""
+    baseline = baseline or run_fault_free(settings)
+    start = settings.flap_start_fraction * baseline.sim_seconds
+    window = settings.flap_window_fraction * baseline.sim_seconds
+    duration = settings.flap_duration_fraction * baseline.sim_seconds
+    result = ScenarioResult(scenario="flap", arms=[baseline.arm])
+    result.events += baseline.events
+    for seed in settings.flap_seeds:
+        system, _job = _build(settings)
+        plan = FaultPlan.random_flaps(
+            _trunk_links(system),
+            seed=seed,
+            count=settings.flap_count,
+            start=start,
+            window=window,
+            duration=duration,
+        )
+        injector = install_faults(system.simulator, plan)
+        _send_all(settings, system)
+        result.events += system.run()
+        arm = _arm(f"flap seed={seed}", system, baseline.truth)
+        result.arms.append(arm)
+        result.notes.append(
+            f"seed {seed}: {len(plan.sorted_events())} flap events, "
+            f"{arm.fault_drops} gated drops"
+        )
+        result.fault_log.extend(
+            (when, f"[seed {seed}] {entry}") for when, entry in injector.log
+        )
+    return result
+
+
+def run_straggler(
+    settings: ChurnSettings, baseline: _Baseline | None = None
+) -> ScenarioResult:
+    """Slow the tree spine's uplinks; recover by rebalancing off it."""
+    baseline = baseline or run_fault_free(settings)
+    slow_time = settings.slowdown_fraction * baseline.sim_seconds
+    result = ScenarioResult(scenario="straggler", arms=[baseline.arm])
+    result.events += baseline.events
+
+    def _plan(spine: str) -> FaultPlan:
+        plan = FaultPlan()
+        for leaf in ("leaf0", "leaf1"):
+            plan.slowdown(slow_time, leaf, spine, factor=settings.slowdown_factor)
+        return plan
+
+    # Static arm: the round crawls through the slow spine.
+    system, _job = _build(settings)
+    spine = _tree_spine(system)
+    install_faults(system.simulator, _plan(spine))
+    _send_all(settings, system)
+    result.events += system.run()
+    result.arms.append(_arm("static", system, baseline.truth))
+
+    # Recover arm: the injector observer stands in for slowdown telemetry;
+    # the first report triggers a rebalance off the straggling spine.
+    system, job = _build(settings)
+    spine = _tree_spine(system)
+    injector = install_faults(system.simulator, _plan(spine))
+    manager = FailoverManager(system, injector)
+    rebalanced: list[str] = []
+
+    def _on_fault(event) -> None:
+        if event.kind == SLOWDOWN_START and not rebalanced:
+            rebalanced.append(spine)
+            manager.move_tree(job, REDUCER, exclude={spine})
+
+    injector.observers.append(_on_fault)
+    _send_all(settings, system)
+    result.events += system.run()
+    result.arms.append(_arm("recover", system, baseline.truth))
+    result.control_log = list(manager.log)
+    result.fault_log = list(injector.log)
+    result.notes.append(
+        f"slowed {spine} uplinks x{settings.slowdown_factor:g} at t={slow_time:.6f}"
+    )
+    return result
+
+
+def run_hotspot(settings: ChurnSettings) -> ScenarioResult:
+    """Concentrate two trees on one spine; detect and rebalance online."""
+    system = DaietSystem(_fabric(), settings.daiet_config(), SimulatorConfig())
+    job = system.install_job(
+        mappers=list(HOTSPOT_MAPPERS), reducers=list(HOTSPOT_REDUCERS)
+    )
+    injector = install_faults(system.simulator, FaultPlan())
+    manager = FailoverManager(system, injector)
+    # Naive placement: both trees forced onto spine0 (the hotspot).
+    for reducer in HOTSPOT_REDUCERS:
+        manager.move_tree(job, reducer, exclude={"spine1"})
+
+    def _on_hotspot(event: HotspotEvent) -> None:
+        # Rebalance only while the hot switch carries more than one tree:
+        # a single tree's traffic legitimately dominates its own spine, and
+        # moving it would just ping-pong the load between spines.
+        on_hot = sorted(
+            reducer
+            for reducer in job.trees
+            if event.switch in job.trees[reducer].nodes
+        )
+        if len(on_hot) > 1:
+            manager.move_tree(job, on_hot[0], exclude={event.switch})
+
+    detector = HotspotDetector(
+        system.simulator,
+        ["spine0", "spine1"],
+        HotspotConfig(
+            sample_interval=settings.hotspot_sample_interval,
+            share_threshold=settings.hotspot_share_threshold,
+            min_window_packets=settings.hotspot_min_window_packets,
+            max_samples=settings.hotspot_max_samples,
+        ),
+        on_hotspot=_on_hotspot,
+    )
+    detector.start()
+
+    pairs = [(f"w{i}", i + 1) for i in range(settings.hotspot_pairs)]
+    truth = aggregate_pairs(pairs + pairs, SUM)  # both mappers send the same
+    for mapper in HOTSPOT_MAPPERS:
+        for reducer in HOTSPOT_REDUCERS:
+            system.send_pairs(mapper, reducer, pairs)
+    events = system.run()
+
+    result = ScenarioResult(scenario="hotspot", events=events)
+    for reducer in HOTSPOT_REDUCERS:
+        result.arms.append(_arm(f"hotspot {reducer}", system, truth, reducer))
+    result.control_log = list(manager.log)
+    for event in detector.events[:4]:
+        result.notes.append(event.describe())
+    if len(detector.events) > 4:
+        result.notes.append(f"... {len(detector.events)} hotspot events total")
+    shares = detector.shares()
+    result.notes.append(
+        "cumulative shares: "
+        + " ".join(f"{name}={share:.3f}" for name, share in sorted(shares.items()))
+    )
+    return result
+
+
+# ---------------------------------------------------------------------- #
+# Driver and report
+# ---------------------------------------------------------------------- #
+def run_churn(
+    settings: ChurnSettings | None = None,
+    scenarios: tuple[str, ...] = SCENARIOS,
+) -> ChurnResult:
+    """Run the selected scenarios and render the churn report."""
+    settings = settings or ChurnSettings()
+    unknown = [name for name in scenarios if name not in SCENARIOS]
+    if unknown:
+        raise ReproError(f"unknown churn scenarios: {unknown}")
+    result = ChurnResult(settings=settings)
+    baseline: _Baseline | None = None
+    if any(name != "hotspot" for name in scenarios):
+        baseline = run_fault_free(settings)
+    runners = {
+        "spine-kill": lambda: run_spine_kill(settings, baseline),
+        "flap": lambda: run_flap(settings, baseline),
+        "straggler": lambda: run_straggler(settings, baseline),
+        "hotspot": lambda: run_hotspot(settings),
+    }
+    for name in SCENARIOS:
+        if name in scenarios:
+            result.results[name] = runners[name]()
+    if settings.reliability and not result.recovery_exact:
+        raise ReproError(
+            "a reliability-on churn arm diverged from the fault-free aggregate"
+        )
+    result.report = _render_report(result)
+    return result
+
+
+def _render_report(result: ChurnResult) -> str:
+    settings = result.settings
+    mode = "ON (replay retained)" if settings.reliability else "OFF (degraded mode)"
+    lines = [
+        "Fault-churn scenarios (2x2 leaf-spine, crash/flap/straggler/hotspot)",
+        "",
+        f"Reliability {mode}; {settings.keys_per_mapper} keys/mapper; "
+        f"heartbeat {settings.heartbeat_interval * 1e6:.0f} us.",
+        "deficit = ground-truth value mass minus received value mass "
+        "(0 = bit-exact; positive = bounded degradation, never corruption).",
+    ]
+    for name, scenario in result.results.items():
+        lines.append("")
+        lines.append(f"== {name} ==")
+        header = (
+            f"{'arm':>14s} {'exact':>6s} {'done':>5s} {'keys':>6s} "
+            f"{'deficit':>8s} {'sim-us':>10s} {'drops':>6s}"
+        )
+        lines.append(header)
+        lines.append("-" * len(header))
+        for arm in scenario.arms:
+            lines.append(
+                f"{arm.name:>14s} {'yes' if arm.exact else 'NO':>6s} "
+                f"{'yes' if arm.done else 'NO':>5s} {arm.keys:>6d} "
+                f"{arm.value_deficit:>8d} {arm.sim_seconds * 1e6:>10.3f} "
+                f"{arm.fault_drops:>6d}"
+            )
+        for note in scenario.notes:
+            lines.append(f"  note: {note}")
+        if scenario.fault_log:
+            lines.append("  fault log:")
+            for _when, entry in scenario.fault_log:
+                lines.append(f"    {entry}")  # describe() embeds the time
+        if scenario.control_log:
+            lines.append("  control-plane log:")
+            for when, entry in scenario.control_log:
+                lines.append(f"    t={when:.6f} {entry}")
+    lines.append("")
+    if settings.reliability:
+        verdict = (
+            "every recovery and ride-through arm bit-identical to fault-free"
+            if result.recovery_exact
+            else "SOME RECOVERY ARMS DIVERGED"
+        )
+    else:
+        verdict = (
+            "reliability off: deficits above are bounded and reported, "
+            "re-run with --reliability for bit-exact recovery"
+        )
+    lines.append(f"Verdict: {verdict}.")
+    return "\n".join(lines)

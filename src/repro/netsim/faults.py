@@ -1,0 +1,435 @@
+"""Deterministic fault injection: crashes, link flaps and stragglers.
+
+The paper's evaluation assumes a healthy fabric ("we do not address the
+issue of packet losses, which we leave as future work"); PR 1 added loss,
+and this module adds the remaining failure axis — *churn*. A
+:class:`FaultPlan` is a declarative, fully deterministic schedule of fault
+events; a :class:`FaultInjector` arms the plan on a simulator's event
+scheduler and enforces it on the data path:
+
+* **switch crash / restart** — a crashed switch stops forwarding and, like
+  real ASIC power loss, loses its volatile state: steering and forwarding
+  tables are cleared and every in-switch aggregation tree (partial
+  registers, spillover, reliability windows) is wiped. A restarted switch
+  stays blank until the control plane reconfigures it.
+* **host crash / restart** — a crashed host neither sends (its injections
+  die on the NIC) nor receives.
+* **link down / up / flap** — packets transmitted onto a downed link are
+  destroyed at the sender's NIC.
+* **straggler slowdown** — a per-link latency multiplier: bandwidth is
+  divided and propagation multiplied by ``factor`` for the fault window.
+  The simulator reads link attributes live on every transmission, so the
+  mutation needs no wrapper and costs nothing per packet.
+
+Every packet destroyed by a fault is *counted*, never silently dropped:
+it lands in ``TrafficStats.fault_drops`` and — when the runtime sanitizer
+is installed — in the conservation ledger's ``faulted`` bucket, so
+``REPRO_SANITIZE=1`` churn runs still balance exactly.
+
+Install order matters and is asserted by construction: the sanitizer (if
+any) wraps the simulator at construction time, the injector wraps it
+afterwards, so the fault gate is the *outermost* layer. A gated packet is
+accounted as faulted and the inner (sanitizer, then real) paths never see
+it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Callable, Iterable
+
+from repro.checks.registry import fastpath
+from repro.core.errors import SimulationError
+from repro.netsim.devices import Host, SwitchDevice
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.netsim.simulator import NetworkSimulator
+
+__all__ = [
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "install_faults",
+    "HOST_CRASH",
+    "HOST_RESTART",
+    "LINK_DOWN",
+    "LINK_UP",
+    "SLOWDOWN_END",
+    "SLOWDOWN_START",
+    "SWITCH_CRASH",
+    "SWITCH_RESTART",
+]
+
+#: Fault kinds. Plain strings (not an enum) so plans serialize trivially
+#: into the deterministic experiment reports.
+SWITCH_CRASH = "switch-crash"
+SWITCH_RESTART = "switch-restart"
+HOST_CRASH = "host-crash"
+HOST_RESTART = "host-restart"
+LINK_DOWN = "link-down"
+LINK_UP = "link-up"
+SLOWDOWN_START = "slowdown-start"
+SLOWDOWN_END = "slowdown-end"
+
+_DEVICE_KINDS = (SWITCH_CRASH, SWITCH_RESTART, HOST_CRASH, HOST_RESTART)
+_LINK_KINDS = (LINK_DOWN, LINK_UP, SLOWDOWN_START, SLOWDOWN_END)
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled fault. Ordered by ``(time, kind, target)``.
+
+    ``target`` is a device name for device faults and an ``(a, b)`` device
+    pair (resolved against the topology at install time) for link faults.
+    """
+
+    time: float
+    kind: str
+    target: str | tuple[str, str]
+    #: Latency multiplier, only meaningful for :data:`SLOWDOWN_START`.
+    factor: float = 1.0
+
+    def describe(self) -> str:
+        """Stable one-line rendering for logs and reports."""
+        target = (
+            self.target if isinstance(self.target, str) else "<->".join(self.target)
+        )
+        if self.kind == SLOWDOWN_START:
+            return f"t={self.time:.6f} {self.kind} {target} x{self.factor:g}"
+        return f"t={self.time:.6f} {self.kind} {target}"
+
+
+@dataclass
+class FaultPlan:
+    """A deterministic schedule of fault events.
+
+    Built either explicitly through the fluent ``switch_crash`` /
+    ``link_flap`` / ... helpers or randomly-but-seeded through
+    :meth:`random_flaps`. The plan is inert data; arming it on a simulator
+    is the :class:`FaultInjector`'s job.
+    """
+
+    events: list[FaultEvent] = field(default_factory=list)
+
+    # ------------------------------------------------------------------ #
+    # Builders (each returns ``self`` for chaining)
+    # ------------------------------------------------------------------ #
+    def _add(self, event: FaultEvent) -> "FaultPlan":
+        if event.time < 0:
+            raise SimulationError(f"fault time must be non-negative (got {event.time})")
+        self.events.append(event)
+        return self
+
+    def switch_crash(self, time: float, switch: str) -> "FaultPlan":
+        """Crash ``switch`` at ``time`` (volatile state is wiped)."""
+        return self._add(FaultEvent(time, SWITCH_CRASH, switch))
+
+    def switch_restart(self, time: float, switch: str) -> "FaultPlan":
+        """Restart a crashed ``switch`` at ``time`` (it comes up blank)."""
+        return self._add(FaultEvent(time, SWITCH_RESTART, switch))
+
+    def host_crash(self, time: float, host: str) -> "FaultPlan":
+        """Crash the agent on ``host`` at ``time``."""
+        return self._add(FaultEvent(time, HOST_CRASH, host))
+
+    def host_restart(self, time: float, host: str) -> "FaultPlan":
+        """Restart the agent on ``host`` at ``time``."""
+        return self._add(FaultEvent(time, HOST_RESTART, host))
+
+    def link_down(self, time: float, a: str, b: str) -> "FaultPlan":
+        """Take the ``a``-``b`` link down at ``time`` (both directions)."""
+        return self._add(FaultEvent(time, LINK_DOWN, (a, b)))
+
+    def link_up(self, time: float, a: str, b: str) -> "FaultPlan":
+        """Bring the ``a``-``b`` link back up at ``time``."""
+        return self._add(FaultEvent(time, LINK_UP, (a, b)))
+
+    def link_flap(self, time: float, a: str, b: str, duration: float) -> "FaultPlan":
+        """Down the ``a``-``b`` link for ``duration`` seconds."""
+        if duration <= 0:
+            raise SimulationError(f"flap duration must be positive (got {duration})")
+        self.link_down(time, a, b)
+        return self.link_up(time + duration, a, b)
+
+    def slowdown(
+        self, time: float, a: str, b: str, factor: float, duration: float | None = None
+    ) -> "FaultPlan":
+        """Multiply the ``a``-``b`` link's latency by ``factor``.
+
+        Bandwidth is divided and propagation multiplied by ``factor`` for
+        ``duration`` seconds (or for the rest of the run when ``None``).
+        """
+        if factor <= 1.0:
+            raise SimulationError(f"slowdown factor must exceed 1 (got {factor})")
+        self._add(FaultEvent(time, SLOWDOWN_START, (a, b), factor=factor))
+        if duration is not None:
+            if duration <= 0:
+                raise SimulationError(
+                    f"slowdown duration must be positive (got {duration})"
+                )
+            self._add(FaultEvent(time + duration, SLOWDOWN_END, (a, b)))
+        return self
+
+    @classmethod
+    def random_flaps(
+        cls,
+        links: Iterable[tuple[str, str]],
+        *,
+        seed: int,
+        count: int,
+        start: float,
+        window: float,
+        duration: float,
+    ) -> "FaultPlan":
+        """A seeded plan of ``count`` flaps across ``links``.
+
+        Flap start times are drawn uniformly from ``[start, start+window)``
+        and each flap downs one (seeded-choice) link for ``duration``
+        seconds. The same arguments always produce the same plan.
+        """
+        pool = sorted(links)
+        if not pool:
+            raise SimulationError("random_flaps needs at least one candidate link")
+        rng = random.Random(seed)
+        plan = cls()
+        for _ in range(count):
+            a, b = pool[rng.randrange(len(pool))]
+            at = start + rng.random() * window
+            plan.link_flap(at, a, b, duration)
+        return plan
+
+    def sorted_events(self) -> list[FaultEvent]:
+        """The plan's events in deterministic application order."""
+        return sorted(self.events)
+
+    def crash_targets(self) -> list[str]:
+        """Names of every device the plan ever crashes, sorted."""
+        return sorted(
+            {
+                e.target
+                for e in self.events
+                if e.kind in (SWITCH_CRASH, HOST_CRASH) and isinstance(e.target, str)
+            }
+        )
+
+
+class FaultInjector:
+    """Arms a :class:`FaultPlan` on one simulator and enforces it.
+
+    The injector keeps the authoritative up/down state (``is_down``), a
+    deterministic application log (``log``), and a list of ``observers``
+    called synchronously after each fault is applied (the failover
+    manager's detection hook; heartbeat-driven managers may instead poll
+    ``is_down``).
+    """
+
+    def __init__(self, sim: "NetworkSimulator", plan: FaultPlan) -> None:
+        self.sim = sim
+        self.plan = plan
+        self.down_devices: set[str] = set()
+        self.down_links: set[str] = set()
+        #: (sim time, event description) per applied fault, in order.
+        self.log: list[tuple[float, str]] = []
+        self.observers: list[Callable[[FaultEvent], None]] = []
+        #: link name -> (original bandwidth, original propagation), recorded
+        #: the first time a slowdown touches the link so SLOWDOWN_END (and
+        #: overlapping slowdowns) restore the true baseline.
+        self._link_baseline: dict[str, tuple[float, float]] = {}
+        self._installed = False
+        self._validate_plan()
+
+    def _validate_plan(self) -> None:
+        topology = self.sim.topology
+        for event in self.plan.events:
+            if event.kind in _DEVICE_KINDS:
+                if not isinstance(event.target, str):
+                    raise SimulationError(
+                        f"device fault {event.kind!r} needs a device name target"
+                    )
+                device = topology.get(event.target)  # raises TopologyError
+                if event.kind in (SWITCH_CRASH, SWITCH_RESTART):
+                    if not isinstance(device, SwitchDevice):
+                        raise SimulationError(
+                            f"{event.kind} target {event.target!r} is not a switch"
+                        )
+                elif not isinstance(device, Host):
+                    raise SimulationError(
+                        f"{event.kind} target {event.target!r} is not a host"
+                    )
+            elif event.kind in _LINK_KINDS:
+                if isinstance(event.target, str):
+                    raise SimulationError(
+                        f"link fault {event.kind!r} needs an (a, b) device pair"
+                    )
+                topology.link_between(*event.target)  # raises TopologyError
+            else:
+                raise SimulationError(f"unknown fault kind {event.kind!r}")
+
+    # ------------------------------------------------------------------ #
+    # Installation
+    # ------------------------------------------------------------------ #
+    def install(self) -> "FaultInjector":
+        """Wrap the data path and schedule every planned fault."""
+        if self._installed:
+            return self
+        sim = self.sim
+        sim._transmit = self._compile_transmit_gate()
+        for name in self.plan.crash_targets():
+            self._wrap_device(sim.topology.get(name))
+        # The compiled per-link sinks captured the pre-fault bound methods;
+        # rebuilding makes them re-capture the gate and deliver wrappers.
+        sim._build_port_maps()
+        for event in self.plan.sorted_events():
+            sim.scheduler.push_at(event.time, self._apply, (event,))
+        sim.fault_injector = self
+        self._installed = True
+        return self
+
+    @fastpath("fault-gate", oracle="tests/netsim/test_fault_churn.py")
+    def _compile_transmit_gate(self) -> Any:
+        """Compile the outermost ``_transmit`` wrapper.
+
+        The gate destroys (and accounts) packets leaving a crashed device
+        or entering a downed link, and passes everything else through to
+        the inner transmit path unchanged. All lookups are pre-bound; the
+        healthy-path cost is two set probes and one dict probe per hop.
+        The twin-path oracle (``tests/netsim/test_fault_churn.py``) holds
+        that a run with an *empty* plan is byte-identical to an uninstalled
+        run, and that every gated packet is conserved in ``fault_drops`` /
+        the sanitizer's ``faulted`` bucket.
+        """
+        inner_transmit = self.sim._transmit
+        down_devices = self.down_devices
+        down_links = self.down_links
+        port_links = self.sim._port_links
+        record_fault_drop = self.sim.stats.record_fault_drop
+        sanitizer = self.sim.sanitizer
+        ledger_faulted = sanitizer.ledger.faulted if sanitizer is not None else None
+
+        def transmit(from_device: str, egress_port: int, packet: Any, nbytes: int) -> None:
+            if from_device in down_devices:
+                record_fault_drop(from_device)
+                if ledger_faulted is not None:
+                    cls = type(packet).__name__
+                    ledger_faulted[cls] = ledger_faulted.get(cls, 0) + 1
+                return
+            if down_links:
+                link = port_links[from_device].get(egress_port)
+                if link is not None and link.name in down_links:
+                    record_fault_drop(link.name)
+                    if ledger_faulted is not None:
+                        cls = type(packet).__name__
+                        ledger_faulted[cls] = ledger_faulted.get(cls, 0) + 1
+                    return
+            inner_transmit(from_device, egress_port, packet, nbytes)
+
+        return transmit
+
+    def _wrap_device(self, device: Any) -> None:
+        """Wrap the deliver path of a crash-target device.
+
+        Needed for packets already in flight *towards* the device when it
+        crashes (the sender-side gate cannot see those).
+        """
+        down_devices = self.down_devices
+        record_fault_drop = self.sim.stats.record_fault_drop
+        sanitizer = self.sim.sanitizer
+        ledger_faulted = sanitizer.ledger.faulted if sanitizer is not None else None
+        name = device.name
+
+        def account(packet: Any) -> None:
+            record_fault_drop(name)
+            if ledger_faulted is not None:
+                cls = type(packet).__name__
+                ledger_faulted[cls] = ledger_faulted.get(cls, 0) + 1
+
+        if isinstance(device, Host):
+            inner_deliver = device.deliver
+
+            def deliver(packet: Any, nbytes: int) -> None:
+                if name in down_devices:
+                    account(packet)
+                    return
+                inner_deliver(packet, nbytes)
+
+            device.deliver = deliver
+            return
+
+        inner_switch_deliver = device.deliver
+
+        def switch_deliver(
+            packet: Any, ingress_port: int, nbytes: int
+        ) -> list[tuple[int, Any]]:
+            if name in down_devices:
+                account(packet)
+                return []
+            return inner_switch_deliver(packet, ingress_port, nbytes)
+
+        device.deliver = switch_deliver
+
+    # ------------------------------------------------------------------ #
+    # Fault application
+    # ------------------------------------------------------------------ #
+    def _apply(self, event: FaultEvent) -> None:
+        kind = event.kind
+        if kind == SWITCH_CRASH:
+            self.down_devices.add(event.target)
+            self._wipe_switch(self.sim.topology.get(event.target))
+        elif kind == HOST_CRASH:
+            self.down_devices.add(event.target)
+        elif kind in (SWITCH_RESTART, HOST_RESTART):
+            self.down_devices.discard(event.target)
+        elif kind == LINK_DOWN:
+            self.down_links.add(self._link(event).name)
+        elif kind == LINK_UP:
+            self.down_links.discard(self._link(event).name)
+        elif kind == SLOWDOWN_START:
+            link = self._link(event)
+            baseline = self._link_baseline.setdefault(
+                link.name, (link.bandwidth_bps, link.propagation_s)
+            )
+            link.bandwidth_bps = baseline[0] / event.factor
+            link.propagation_s = baseline[1] * event.factor
+        elif kind == SLOWDOWN_END:
+            link = self._link(event)
+            baseline = self._link_baseline.get(link.name)
+            if baseline is not None:
+                link.bandwidth_bps, link.propagation_s = baseline
+        self.log.append((self.sim.now, event.describe()))
+        for observer in self.observers:
+            observer(event)
+
+    def _link(self, event: FaultEvent) -> Any:
+        assert isinstance(event.target, tuple)
+        return self.sim.topology.link_between(*event.target)
+
+    def _wipe_switch(self, device: SwitchDevice) -> None:
+        """Volatile-state loss on crash: tables, caches and extern trees."""
+        engine = device.switch.externs.get("daiet")
+        if engine is not None:
+            engine._trees.clear()
+        device.daiet_table.clear()
+        device.forwarding_table.clear()
+        device._fast_cache.clear()
+        device._fwd_cache.clear()
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def is_down(self, name: str) -> bool:
+        """True while device ``name`` is crashed."""
+        return name in self.down_devices
+
+    def down_switch_names(self) -> list[str]:
+        """Sorted names of currently crashed switches."""
+        return sorted(
+            name
+            for name in self.down_devices
+            if isinstance(self.sim.topology.get(name), SwitchDevice)
+        )
+
+
+def install_faults(sim: "NetworkSimulator", plan: FaultPlan) -> FaultInjector:
+    """Create and install a :class:`FaultInjector` for ``plan`` on ``sim``."""
+    return FaultInjector(sim, plan).install()

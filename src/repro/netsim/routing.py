@@ -126,9 +126,23 @@ class _DestinationDag:
         return path
 
 
-def _sorted_adjacency(topology: Topology) -> dict[str, list[str]]:
-    """Neighbour lists sorted by name (the lexicographic ECMP order)."""
-    return {name: sorted(topology.neighbors(name)) for name in topology.devices}
+def _sorted_adjacency(
+    topology: Topology, exclude: Iterable[str] | None = None
+) -> dict[str, list[str]]:
+    """Neighbour lists sorted by name (the lexicographic ECMP order).
+
+    Devices named in ``exclude`` (crashed or quarantined switches) are
+    removed from the graph entirely: they appear neither as nodes nor as
+    anyone's neighbour, so no path ever traverses them.
+    """
+    if not exclude:
+        return {name: sorted(topology.neighbors(name)) for name in topology.devices}
+    excluded = set(exclude)
+    return {
+        name: sorted(n for n in topology.neighbors(name) if n not in excluded)
+        for name in topology.devices
+        if name not in excluded
+    }
 
 
 def paths_towards(
@@ -136,26 +150,41 @@ def paths_towards(
     dst: str,
     sources: Iterable[str],
     ecmp_seed: int = 0,
+    exclude: Iterable[str] | None = None,
 ) -> dict[str, list[str]]:
     """Selected shortest path from every source towards one destination.
 
     One BFS serves every source, so building an aggregation tree over
     hundreds of mappers costs O(E + mappers · path length) instead of one
-    graph traversal per mapper.
+    graph traversal per mapper. ``exclude`` removes devices (e.g. crashed
+    switches) from the graph before the BFS; an unreachable source raises
+    :class:`RoutingError`.
     """
-    dag = _DestinationDag(_sorted_adjacency(topology), dst)
+    dag = _DestinationDag(_sorted_adjacency(topology, exclude), dst)
     return {src: dag.path_from(src, ecmp_seed) for src in sources}
 
 
-def compute_routes(topology: Topology, ecmp_seed: int = 0) -> RoutingState:
-    """Compute shortest-path next hops from every switch to every host."""
-    adjacency = _sorted_adjacency(topology)
-    switches = topology.switches()
+def compute_routes(
+    topology: Topology,
+    ecmp_seed: int = 0,
+    exclude: Iterable[str] | None = None,
+) -> RoutingState:
+    """Compute shortest-path next hops from every switch to every host.
+
+    Switches named in ``exclude`` are removed from the graph: they get no
+    next-hop entries and no path routes through them. A host unreachable
+    from a surviving switch raises :class:`RoutingError`.
+    """
+    excluded = set(exclude) if exclude else set()
+    adjacency = _sorted_adjacency(topology, excluded)
+    switches = [s for s in topology.switches() if s.name not in excluded]
     state = RoutingState()
     for switch in switches:
         state.next_hops[switch.name] = {}
     for host in topology.hosts():
         dst = host.name
+        if dst not in adjacency:
+            continue
         dag = _DestinationDag(adjacency, dst)
         for switch in switches:
             if switch.name not in dag.counts:
@@ -166,15 +195,34 @@ def compute_routes(topology: Topology, ecmp_seed: int = 0) -> RoutingState:
     return state
 
 
-def install_forwarding_rules(topology: Topology, routes: RoutingState | None = None) -> int:
+def install_forwarding_rules(
+    topology: Topology,
+    routes: RoutingState | None = None,
+    *,
+    skip: Iterable[str] = (),
+    clear_first: bool = False,
+) -> int:
     """Install destination-based forwarding entries on every switch.
 
+    ``skip`` names switches to leave untouched (crashed ones, during a
+    failover reinstall). ``clear_first`` empties each touched switch's
+    forwarding table before installing — required when re-planning, because
+    exact-match tables reject duplicate entries. Switches absent from
+    ``routes.next_hops`` (excluded at route computation) are skipped too.
     Returns the number of flow rules installed.
     """
     routes = routes or compute_routes(topology)
+    skipped = set(skip)
     installed = 0
     for switch in topology.switches():
-        for dst, next_hop in routes.next_hops[switch.name].items():
+        if switch.name in skipped:
+            continue
+        next_hops = routes.next_hops.get(switch.name)
+        if next_hops is None:
+            continue
+        if clear_first:
+            switch.forwarding_table.clear()
+        for dst, next_hop in next_hops.items():
             port = topology.port_towards(switch.name, next_hop)
             rule = FlowRule.create(
                 table=FORWARDING_TABLE,

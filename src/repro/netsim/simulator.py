@@ -83,6 +83,9 @@ class NetworkSimulator:
         #: Installed :class:`~repro.checks.sanitize.SimulatorSanitizer`, or
         #: ``None`` on an ordinary (unsanitized) simulator.
         self.sanitizer = None
+        #: Installed :class:`~repro.netsim.faults.FaultInjector`, or ``None``
+        #: on a fault-free simulator. Set by ``FaultInjector.install``.
+        self.fault_injector = None
         self._build_port_maps()
         if self.config.auto_install_routes:
             self.install_routes()

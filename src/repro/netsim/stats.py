@@ -40,6 +40,11 @@ class TrafficStats:
     link_traffic: dict[str, PerDeviceTraffic] = field(default_factory=dict)
     drops: dict[str, int] = field(default_factory=dict)
     losses: dict[str, int] = field(default_factory=dict)
+    #: Packets destroyed by an injected fault (crashed device, downed link),
+    #: keyed by the device or link that sank them. Kept separate from
+    #: ``drops``/``losses`` so fault-churn runs can report (and the sanitizer
+    #: can balance) fault damage distinctly from ordinary loss.
+    fault_drops: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -84,9 +89,17 @@ class TrafficStats:
         """Account a packet lost in flight on a lossy link."""
         self.losses[link_name] = self.losses.get(link_name, 0) + 1
 
+    def record_fault_drop(self, where: str) -> None:
+        """Account a packet destroyed by an injected fault at ``where``."""
+        self.fault_drops[where] = self.fault_drops.get(where, 0) + 1
+
     def total_losses(self) -> int:
         """Packets lost in flight across every link."""
         return sum(self.losses.values())
+
+    def total_fault_drops(self) -> int:
+        """Packets destroyed by injected faults across every device and link."""
+        return sum(self.fault_drops.values())
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -146,6 +159,7 @@ class TrafficStats:
             "link_traffic": _traffic(self.link_traffic),
             "drops": dict(self.drops),
             "losses": dict(self.losses),
+            "fault_drops": dict(self.fault_drops),
         }
 
     def reset(self) -> None:
@@ -156,3 +170,4 @@ class TrafficStats:
         self.link_traffic.clear()
         self.drops.clear()
         self.losses.clear()
+        self.fault_drops.clear()

@@ -80,6 +80,7 @@ class ReliableSenderChannel:
         retransmit_timeout: float,
         max_retransmits: int,
         stats: ReliabilityStats,
+        retain_for_replay: bool = False,
     ) -> None:
         if retransmit_timeout <= 0:
             raise TransportError("retransmit_timeout must be positive")
@@ -89,8 +90,13 @@ class ReliableSenderChannel:
         self.retransmit_timeout = retransmit_timeout
         self.max_retransmits = max_retransmits
         self.stats = stats
+        #: Keep every packet ever sent (not just the unacknowledged ones) so
+        #: the failover manager can replay a mapper's whole stream through a
+        #: re-planned tree. The map-output buffer is the recovery log.
+        self.retain_for_replay = retain_for_replay
         self._next_seq = 0
         self._unacked: dict[int, DaietPacket] = {}
+        self._history: dict[int, DaietPacket] = {}
         self._retransmitted: set[int] = set()
         self._consecutive_timeouts = 0
         self._timer = simulator.timer(self._on_timeout)
@@ -129,8 +135,11 @@ class ReliableSenderChannel:
                     "reliable channels require packets with sequence numbers"
                 )
         stats = self.stats
+        retain = self.retain_for_replay
         for packet in window:
             self._unacked[packet.seq] = packet
+            if retain:
+                self._history[packet.seq] = packet
             stats.packets_sent += 1
             stats.wire_bytes_sent += packet.wire_bytes()
         count = self.simulator.send_burst(self.host, window) if window else 0
@@ -175,6 +184,24 @@ class ReliableSenderChannel:
         stats.retransmissions += len(packets)
         stats.wire_bytes_sent += wire_bytes
         stats.wire_bytes_retransmitted += wire_bytes
+
+    def sent_packets(self) -> list[DaietPacket]:
+        """Every packet ever sent on this channel, in sequence order.
+
+        Empty unless the channel was created with ``retain_for_replay``.
+        """
+        return [self._history[seq] for seq in sorted(self._history)]
+
+    def close(self) -> None:
+        """Cancel the retransmit timer and drop the buffers.
+
+        Called when the channel's tree epoch ends (failover re-plan): the
+        replacement channel owns the stream from then on, and a closed
+        channel must never fire a timeout for the dead epoch.
+        """
+        self._timer.cancel()
+        self._unacked.clear()
+        self._retransmitted.clear()
 
     def _on_timeout(self) -> None:
         if not self._unacked:
@@ -230,6 +257,7 @@ class HostReliabilityAgent:
         retransmit_timeout: float,
         ack_window: int,
         max_retransmits: int,
+        retain_for_replay: bool = False,
     ) -> None:
         if ack_window <= 0:
             raise TransportError("ack_window must be positive")
@@ -238,6 +266,7 @@ class HostReliabilityAgent:
         self.retransmit_timeout = retransmit_timeout
         self.ack_window = ack_window
         self.max_retransmits = max_retransmits
+        self.retain_for_replay = retain_for_replay
         self.stats = ReliabilityStats()
         self._senders: dict[int, ReliableSenderChannel] = {}
         self._recv: dict[int, _TreeReceiveState] = {}
@@ -258,6 +287,7 @@ class HostReliabilityAgent:
             retransmit_timeout=config.retransmit_timeout,
             ack_window=config.ack_window,
             max_retransmits=config.max_retransmits,
+            retain_for_replay=getattr(config, "retain_for_replay", False),
         )
 
     # ------------------------------------------------------------------ #
@@ -273,6 +303,7 @@ class HostReliabilityAgent:
                 retransmit_timeout=self.retransmit_timeout,
                 max_retransmits=self.max_retransmits,
                 stats=self.stats,
+                retain_for_replay=self.retain_for_replay,
             )
         return self._senders[tree_id]
 
@@ -290,6 +321,29 @@ class HostReliabilityAgent:
         )
         state.pull_timer = self.simulator.timer(lambda: self._on_pull(tree_id))
         self._recv[tree_id] = state
+
+    def detach_tree(self, tree_id: int) -> None:
+        """Remove one tree's receive state and stop its pull timer.
+
+        Used on failover: the old tree epoch's dedup windows must not be
+        consulted for the replacement tree (its sequence space restarts),
+        and a dangling pull timer would keep ACKing the dead epoch forever.
+        Unknown ids are ignored.
+        """
+        state = self._recv.pop(tree_id, None)
+        if state is not None and state.pull_timer is not None:
+            state.pull_timer.cancel()
+
+    def drop_sender(self, tree_id: int) -> ReliableSenderChannel | None:
+        """Close and remove one tree's sender channel (failover teardown).
+
+        Returns the closed channel so the caller can still read its
+        retained history. Unknown ids return ``None``.
+        """
+        channel = self._senders.pop(tree_id, None)
+        if channel is not None:
+            channel.close()
+        return channel
 
     def set_fallback(self, receiver: Callable[[Any], None] | None) -> None:
         """Receiver for packets no reliability state claims (e.g. raw UDP)."""
