@@ -6,7 +6,7 @@ drives the fast path and the generic path side by side. This checker
 imports the known fast-path modules (registration happens at import time),
 then verifies:
 
-* every *required* fast path name is registered (the five compiled paths
+* every *required* fast path name is registered (the six compiled paths
   the repo ships today are hard-required, so deleting a decorator fails
   lint rather than silently dropping coverage);
 * every registered fast path's oracle module exists on disk;
@@ -30,6 +30,7 @@ FASTPATH_MODULES: tuple[str, ...] = (
     "repro.netsim.faults",
     "repro.dataplane.registers",
     "repro.core.aggregation",
+    "repro.transport.window",
 )
 
 #: Fast paths that must exist in the registry. Keep in sync with the
@@ -41,6 +42,7 @@ REQUIRED_FASTPATHS: frozenset[str] = frozenset(
         "forwarding-cache",
         "sum-register-loop",
         "fault-gate",
+        "window-advance",
     }
 )
 

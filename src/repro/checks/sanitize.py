@@ -76,6 +76,12 @@ class ConservationLedger:
         #: ``lost_or_dropped`` — so churn runs under ``REPRO_SANITIZE=1``
         #: balance without hiding fault damage inside ordinary loss.
         self.faulted: dict[str, int] = {}
+        #: Packets ECN-marked in flight (CE False->True transitions observed
+        #: at the transmit wrapper). Marked packets still flow to a consumer
+        #: bucket, so this tally sits *outside* the conservation equation —
+        #: it is cross-checked against ``TrafficStats.ecn_marked`` instead,
+        #: so a mark the stats missed (or vice versa) is never silent.
+        self.marked: dict[str, int] = {}
 
     @staticmethod
     def _bump(table: dict[str, int], cls: str) -> None:
@@ -115,6 +121,7 @@ class ConservationLedger:
             "switch_in": dict(self.switch_in),
             "switch_out": dict(self.switch_out),
             "faulted": dict(self.faulted),
+            "marked": dict(self.marked),
         }
 
     def check(self, *, quiescent: bool) -> None:
@@ -180,11 +187,17 @@ class SimulatorSanitizer:
 
         def transmit(from_device: str, egress_port: int, packet: Any, nbytes: int) -> None:
             # A transmission either schedules exactly one delivery event or
-            # sinks the packet (loss draw, unconnected port): the scheduler
-            # backlog delta tells the two apart without duplicating the
-            # drop/loss logic here.
+            # sinks the packet (loss draw, unconnected port, full egress
+            # buffer): the scheduler backlog delta tells the two apart
+            # without duplicating the drop/loss logic here. ECN marking is
+            # likewise observed from outside: a CE False->True transition
+            # across the call is tallied per packet class and cross-checked
+            # against ``TrafficStats.ecn_marked`` at quiescence.
+            was_unmarked = getattr(packet, "ecn", None) is False
             before = len(scheduler)
             real_transmit(from_device, egress_port, packet, nbytes)
+            if was_unmarked and packet.ecn:
+                bump(ledger.marked, type(packet).__name__)
             if len(scheduler) == before:
                 bump(ledger.lost_or_dropped, type(packet).__name__)
 
@@ -406,6 +419,14 @@ class SimulatorSanitizer:
         self.check_backend_invariant()
         scheduler = self.sim.scheduler
         self.ledger.check(quiescent=len(scheduler) == 0)
+        ledger_marks = sum(self.ledger.marked.values())
+        stats_marks = self.sim.stats.total_ecn_marked()
+        if ledger_marks != stats_marks:
+            raise SanitizerError(
+                f"ECN mark accounting diverged: the transmit wrapper observed "
+                f"{ledger_marks} CE transitions but TrafficStats recorded "
+                f"{stats_marks} marks"
+            )
         self.check_registers()
 
 

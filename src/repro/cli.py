@@ -11,6 +11,7 @@ Usage::
                           [--workers N] [--compare-baselines]
     python -m repro churn [--quick] [--reliability]
                           [--scenario spine-kill|flap|straggler|hotspot|all]
+    python -m repro incast [--quick] [--fanin N]
     python -m repro all   [--quick]
     python -m repro lint  [--root PATH]
 
@@ -41,6 +42,7 @@ from repro.experiments.figure1_ml import (
 )
 from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
 from repro.experiments.figure_churn import SCENARIOS, ChurnSettings, run_churn
+from repro.experiments.figure_incast import IncastSettings, run_incast
 from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
 from repro.experiments.figure_scale import ScaleSettings, run_scale
 
@@ -130,6 +132,17 @@ def run_churn_cmd(args: argparse.Namespace) -> str:
     return run_churn(settings, scenarios).report
 
 
+def run_incast_cmd(args: argparse.Namespace) -> str:
+    """Incast fan-in sweep: adaptive transport vs in-network aggregation."""
+    settings = IncastSettings().quick() if args.quick else IncastSettings()
+    fanin = getattr(args, "fanin", None)
+    if fanin is not None:
+        settings = dataclasses.replace(
+            settings, fanins=(fanin,), ablation_fanin=fanin
+        )
+    return run_incast(settings).report
+
+
 def run_lint_cmd(args: argparse.Namespace) -> tuple[str, int]:
     """Static checks: determinism lint, fast-path parity, dataplane config."""
     from repro.checks.lint import run_lint
@@ -159,6 +172,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "loss-sweep": run_loss_sweep_cmd,
     "scale": run_scale_cmd,
     "churn": run_churn_cmd,
+    "incast": run_incast_cmd,
     "all": run_all,
 }
 
@@ -209,6 +223,14 @@ def build_parser() -> argparse.ArgumentParser:
                 choices=SCENARIOS + ("all",),
                 default="all",
                 help="run one churn scenario instead of all four",
+            )
+        if name == "incast":
+            sub.add_argument(
+                "--fanin",
+                type=int,
+                default=None,
+                help="run a single fan-in instead of the default sweep "
+                "(e.g. --fanin 1024)",
             )
         if name == "scale":
             sub.add_argument(

@@ -108,6 +108,10 @@ class TreeState:
     _seen: dict[str, SeenWindow] = field(default_factory=dict, repr=False)
     #: In-order packets received per child since the last ACK was emitted.
     _since_ack: dict[str, int] = field(default_factory=dict, repr=False)
+    #: Fresh packets per child that arrived ECN-marked since the last ACK;
+    #: echoed (and reset) by ``_ack_child`` so host senders see the mark rate
+    #: of the congested hop below this switch.
+    _ecn_since_ack: dict[str, int] = field(default_factory=dict, repr=False)
     #: Flush packets emitted towards the parent and not yet acknowledged.
     _unacked: dict[int, DaietPacket] = field(default_factory=dict, repr=False)
     #: Next sequence number for the switch's own emissions towards the parent.
@@ -432,6 +436,8 @@ class DaietAggregationEngine:
         if packet.seq is not None:
             src = packet.src
             window = state.window(src)
+            if packet.ecn:
+                state._ecn_since_ack[src] = state._ecn_since_ack.get(src, 0) + 1
             state._since_ack[src] = state._since_ack.get(src, 0) + 1
             if state._since_ack[src] >= state.config.ack_window:
                 emitted.extend(self._ack_child(state, src))
@@ -448,6 +454,10 @@ class DaietAggregationEngine:
             fresh = window.observe(packet.seq)
             if fresh:
                 window.end_seq = packet.seq
+                if packet.ecn:
+                    state._ecn_since_ack[packet.src] = (
+                        state._ecn_since_ack.get(packet.src, 0) + 1
+                    )
             else:
                 state.counters.duplicate_packets += 1
             emitted = self._ack_child(state, packet.src)
@@ -503,12 +513,16 @@ class DaietAggregationEngine:
             return []
         cumulative, sack = window.ack_state()
         state.counters.acks_sent += 1
+        echo = state._ecn_since_ack.get(src, 0)
+        if echo:
+            state._ecn_since_ack[src] = 0
         ack = DaietAck(
             tree_id=state.tree_id,
             src=self.switch_name,
             dst=src,
             cumulative=cumulative,
             sack=sack,
+            ecn_echo=echo,
         )
         return [(port, ack)]
 

@@ -95,6 +95,29 @@ class DaietConfig:
         stream through a re-planned aggregation tree after a switch crash.
         The map-output buffer doubles as the recovery log; requires
         ``reliability`` to be effective.
+    adaptive_rto:
+        Estimate the retransmission timeout from SRTT/RTTVAR samples (RFC
+        6298, Karn's rule on retransmitted packets) instead of using
+        ``retransmit_timeout`` as a fixed RTO. Off by default — the fixed
+        RTO is the historical, byte-identical behaviour.
+    rto_floor:
+        Lower clamp on the retransmission timeout in seconds. In fixed-RTO
+        mode a floor above ``retransmit_timeout`` simply raises the fixed
+        RTO; in adaptive mode it bounds how aggressively the estimator may
+        retransmit. ``None`` leaves the timeout unclamped.
+    rto_ceiling:
+        Upper clamp on the (adaptive, backed-off) retransmission timeout.
+    congestion_control:
+        Sender window policy: ``"none"`` (unlimited in-flight window, the
+        historical behaviour), ``"aimd"`` (slow start + additive increase,
+        multiplicative decrease on loss) or ``"dctcp"`` (AIMD whose decrease
+        scales with the EWMA fraction of ECN-marked acknowledgements).
+    initial_cwnd:
+        Initial congestion window in packets (ignored for ``"none"``).
+    min_cwnd:
+        Smallest window the congestion controller may shrink to.
+    dctcp_gain:
+        EWMA gain ``g`` of the DCTCP mark-fraction estimate.
     """
 
     register_slots: int = DEFAULT_REGISTER_SLOTS
@@ -109,6 +132,13 @@ class DaietConfig:
     ack_window: int = 8
     max_retransmits: int = 30
     retain_for_replay: bool = False
+    adaptive_rto: bool = False
+    rto_floor: float | None = None
+    rto_ceiling: float = 0.25
+    congestion_control: str = "none"
+    initial_cwnd: int = 10
+    min_cwnd: int = 2
+    dctcp_gain: float = 0.0625
 
     def __post_init__(self) -> None:
         if self.register_slots <= 0:
@@ -127,6 +157,21 @@ class DaietConfig:
             raise ConfigurationError("ack_window must be positive")
         if self.max_retransmits <= 0:
             raise ConfigurationError("max_retransmits must be positive")
+        if self.congestion_control not in ("none", "aimd", "dctcp"):
+            raise ConfigurationError(
+                f"unknown congestion_control {self.congestion_control!r}; "
+                "expected 'none', 'aimd' or 'dctcp'"
+            )
+        if self.rto_floor is not None and self.rto_floor <= 0:
+            raise ConfigurationError("rto_floor must be positive when set")
+        if self.rto_ceiling <= 0:
+            raise ConfigurationError("rto_ceiling must be positive")
+        if self.initial_cwnd <= 0:
+            raise ConfigurationError("initial_cwnd must be positive")
+        if self.min_cwnd <= 0:
+            raise ConfigurationError("min_cwnd must be positive")
+        if not 0.0 < self.dctcp_gain <= 1.0:
+            raise ConfigurationError("dctcp_gain must lie in (0, 1]")
 
     @property
     def effective_spillover_capacity(self) -> int:

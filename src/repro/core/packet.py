@@ -54,6 +54,10 @@ DAIET_ACK_BASE_BYTES = DAIET_PREAMBLE_BYTES + 7
 #: Serialized size of one SACK entry in a DAIET ACK.
 DAIET_ACK_SACK_BYTES = 4
 
+#: Serialized size of the optional ECN-echo counter in a DAIET ACK (16-bit,
+#: only present when the echoed count is non-zero — see ``DaietAck.ecn_echo``).
+DAIET_ACK_ECN_BYTES = 2
+
 #: Maximum SACK entries one ACK may carry: the ACK must stay within the
 #: switch parser's bounded parse depth (~300 B), exactly like DATA packets
 #: are limited to ~10 pairs. Receivers report the lowest out-of-order
@@ -89,6 +93,13 @@ class DaietPacket:
     #: Optional per-(tree, sender) sequence number used by the reliability
     #: layer; ``None`` keeps the original, unreliable wire format byte-for-byte.
     seq: int | None = None
+    #: ECN congestion-experienced bit. The packet is otherwise immutable, but
+    #: a congested switch egress queue sets this in flight (the simulator uses
+    #: ``object.__setattr__``, mirroring a real CE re-mark) — it is excluded
+    #: from equality so a marked packet still deduplicates against its
+    #: unmarked retransmission. The bit rides in the IP header, so it never
+    #: changes any wire size.
+    ecn: bool = field(default=False, compare=False)
     #: Cached: True when fixed-width keys need explicit length bytes on the wire.
     _keylen_needed: bool = field(init=False, repr=False, compare=False)
     #: Cached DAIET payload size (preamble + pairs).
@@ -517,16 +528,26 @@ class DaietAck:
     cumulative: int = 0
     sack: tuple[int, ...] = ()
     pull: bool = False
+    #: Number of ECN-marked packets the receiver saw since its previous ACK
+    #: for this stream (DCTCP-style echo). Zero — the only value ever
+    #: produced without ECN marking enabled — keeps the historical wire
+    #: format byte-for-byte; a non-zero echo adds a 16-bit counter field.
+    ecn_echo: int = 0
 
     def __post_init__(self) -> None:
         if self.tree_id < 0:
             raise PacketFormatError("tree_id must be non-negative")
         if self.cumulative < 0:
             raise PacketFormatError("cumulative ACK must be non-negative")
+        if self.ecn_echo < 0:
+            raise PacketFormatError("ECN echo count must be non-negative")
 
     def payload_bytes(self) -> int:
         """Serialized ACK payload size."""
-        return DAIET_ACK_BASE_BYTES + DAIET_ACK_SACK_BYTES * len(self.sack)
+        base = DAIET_ACK_BASE_BYTES + DAIET_ACK_SACK_BYTES * len(self.sack)
+        if self.ecn_echo:
+            base += DAIET_ACK_ECN_BYTES
+        return base
 
     def wire_bytes(self) -> int:
         """Full frame size (Ethernet + IPv4 + UDP + ACK payload)."""
@@ -550,6 +571,7 @@ class DaietAck:
                     "cumulative": self.cumulative,
                     "sack": self.sack,
                     "pull": self.pull,
+                    "ecn_echo": self.ecn_echo,
                 },
                 self.payload_bytes(),
             ),

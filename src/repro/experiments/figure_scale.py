@@ -40,6 +40,7 @@ from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
 from repro.netsim.topology import Topology, fat_tree, leaf_spine
 from repro.transport.packets import MessagePayload
 from repro.transport.udp import ReliableUdpTransport
+from repro.transport.window import TransportTuning
 
 #: Worker counts swept by the paper-scale run.
 DEFAULT_WORKER_COUNTS = (16, 64, 128, 256)
@@ -80,13 +81,14 @@ class ScaleSettings:
     retransmit_timeout: float = 1e-4
     ack_window: int = 8
     max_retransmits: int = 30
-    #: Retransmission timeout of the host-to-host baselines. DAIET's hop
-    #: reliability keeps per-hop RTTs tiny, but the baselines funnel the
-    #: whole cluster's traffic into one reducer NIC, so their end-to-end RTT
+    #: RTO floor of the host-to-host baselines. DAIET's hop reliability
+    #: keeps per-hop RTTs tiny, but the baselines funnel the whole
+    #: cluster's traffic into one reducer NIC, so their end-to-end RTT
     #: includes the full incast backlog: an RTO below the transfer duration
     #: would retransmit spuriously (a go-back-N storm), which no sane TCP
-    #: stack does. 2 ms models a TCP-like minimum RTO at this scale.
-    baseline_retransmit_timeout: float = 2e-3
+    #: stack does. The 2 ms default models a TCP-like minimum RTO at this
+    #: scale and keeps prior reports byte-identical.
+    rto_floor: float = 2e-3
     loss_seed: int = 17
     seed: int = 2017
 
@@ -107,7 +109,7 @@ class ScaleSettings:
             retransmit_timeout=self.retransmit_timeout,
             ack_window=self.ack_window,
             max_retransmits=self.max_retransmits,
-            baseline_retransmit_timeout=self.baseline_retransmit_timeout,
+            rto_floor=self.rto_floor,
             loss_seed=self.loss_seed,
             seed=self.seed,
         )
@@ -312,9 +314,10 @@ def run_baseline_once(
     )
     reliable = ReliableUdpTransport(
         simulator,
-        retransmit_timeout=settings.baseline_retransmit_timeout,
+        retransmit_timeout=settings.retransmit_timeout,
         ack_window=settings.ack_window,
         max_retransmits=settings.max_retransmits,
+        tuning=TransportTuning(rto_floor=settings.rto_floor),
     )
     reducer = "h0"
     aggregate: dict[str, int] = {}

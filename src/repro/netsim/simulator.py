@@ -39,6 +39,17 @@ class SimulatorConfig:
     #: ``REPRO_SANITIZE`` environment variable; the sanitizer costs nothing
     #: when disabled (no wrapper is installed, no flag is checked per event).
     sanitize: bool | None = None
+    #: ECN marking threshold: when a switch egress queue (the serialized-but-
+    #: not-yet-sent backlog of one link direction) exceeds this many bytes,
+    #: ECN-capable packets passing through it have their CE bit set (DCTCP-
+    #: style instantaneous marking). ``None`` disables marking entirely —
+    #: the congestion branch is a single boolean check per transmission.
+    ecn_threshold_bytes: int | None = None
+    #: Finite switch egress buffering: a packet arriving at a switch egress
+    #: whose queued backlog already exceeds this many bytes is tail-dropped
+    #: (counted in ``TrafficStats.queue_drops``). ``None`` models infinite
+    #: buffers — the historical, byte-identical behaviour.
+    switch_buffer_bytes: int | None = None
 
 
 class NetworkSimulator:
@@ -73,6 +84,20 @@ class NetworkSimulator:
         #: packets cannot overtake each other (FIFO links).
         self._link_busy_until: dict[tuple[str, str], float] = {}
         self._loss_rng = random.Random(self.config.loss_seed)
+        #: Congestion modelling (ECN marking, finite egress buffers) only
+        #: applies to switch egress queues; host uplinks are the sender's own
+        #: NIC, which backpressures rather than drops. The combined flag
+        #: keeps the default hot path at one boolean check per transmission.
+        self._ecn_threshold = self.config.ecn_threshold_bytes
+        self._switch_buffer = self.config.switch_buffer_bytes
+        self._congestion_enabled = (
+            self._ecn_threshold is not None or self._switch_buffer is not None
+        )
+        self._switch_names = frozenset(
+            name
+            for name, device in topology.devices.items()
+            if isinstance(device, SwitchDevice)
+        )
         #: Extra logical events carried by burst transmissions: a burst of N
         #: packets is ONE scheduler event whose callback performs N
         #: injections, and the N-1 "saved" events are accounted here so
@@ -260,6 +285,28 @@ class NetworkSimulator:
             self.stats.record_drop(from_device)
             return
         link, link_name, callback, target, other_port, direction, busy_key = info
+        if self._congestion_enabled and from_device in self._switch_names:
+            # Switch egress queue model: the backlog is the serialization
+            # time already committed to this link direction, expressed in
+            # bytes. Over the buffer limit the packet is tail-dropped before
+            # it ever occupies the link; over the ECN threshold, ECN-capable
+            # packets are CE-marked in flight (False->True transitions only,
+            # so retransmitted already-marked packets are not re-counted).
+            backlog_s = self._link_busy_until.get(busy_key, 0.0) - self.scheduler.now
+            if backlog_s > 0.0:
+                backlog_bytes = backlog_s * link.bandwidth_bps
+                limit = self._switch_buffer
+                if limit is not None and backlog_bytes > limit:
+                    self.stats.record_queue_drop(link_name)
+                    return
+                threshold = self._ecn_threshold
+                if (
+                    threshold is not None
+                    and backlog_bytes > threshold
+                    and getattr(packet, "ecn", None) is False
+                ):
+                    object.__setattr__(packet, "ecn", True)
+                    self.stats.record_ecn_mark(link_name)
         direction.packets += 1
         direction.bytes += nbytes
         # stats.record_link, inlined (one call per packet per hop).

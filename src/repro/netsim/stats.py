@@ -45,6 +45,16 @@ class TrafficStats:
     #: ``drops``/``losses`` so fault-churn runs can report (and the sanitizer
     #: can balance) fault damage distinctly from ordinary loss.
     fault_drops: dict[str, int] = field(default_factory=dict)
+    #: Packets ECN-marked (CE bit set in flight) per link, counted on the
+    #: False->True transition only — a retransmission of an already-marked
+    #: packet is not re-counted. Only populated when the simulator runs with
+    #: an ``ecn_threshold_bytes`` configured.
+    ecn_marked: dict[str, int] = field(default_factory=dict)
+    #: Packets tail-dropped at a full switch egress queue, per link. Only
+    #: populated when the simulator runs with ``switch_buffer_bytes`` set;
+    #: kept separate from random ``losses`` so incast reports can tell
+    #: congestion drops from lossy-link drops.
+    queue_drops: dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------ #
     # Recording
@@ -93,6 +103,14 @@ class TrafficStats:
         """Account a packet destroyed by an injected fault at ``where``."""
         self.fault_drops[where] = self.fault_drops.get(where, 0) + 1
 
+    def record_ecn_mark(self, link_name: str) -> None:
+        """Account a packet ECN-marked on a congested link."""
+        self.ecn_marked[link_name] = self.ecn_marked.get(link_name, 0) + 1
+
+    def record_queue_drop(self, link_name: str) -> None:
+        """Account a packet tail-dropped at a full switch egress queue."""
+        self.queue_drops[link_name] = self.queue_drops.get(link_name, 0) + 1
+
     def total_losses(self) -> int:
         """Packets lost in flight across every link."""
         return sum(self.losses.values())
@@ -100,6 +118,14 @@ class TrafficStats:
     def total_fault_drops(self) -> int:
         """Packets destroyed by injected faults across every device and link."""
         return sum(self.fault_drops.values())
+
+    def total_ecn_marked(self) -> int:
+        """Packets ECN-marked across every link."""
+        return sum(self.ecn_marked.values())
+
+    def total_queue_drops(self) -> int:
+        """Packets tail-dropped at full switch egress queues across every link."""
+        return sum(self.queue_drops.values())
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -160,6 +186,8 @@ class TrafficStats:
             "drops": dict(self.drops),
             "losses": dict(self.losses),
             "fault_drops": dict(self.fault_drops),
+            "ecn_marked": dict(self.ecn_marked),
+            "queue_drops": dict(self.queue_drops),
         }
 
     def reset(self) -> None:
@@ -171,3 +199,5 @@ class TrafficStats:
         self.drops.clear()
         self.losses.clear()
         self.fault_drops.clear()
+        self.ecn_marked.clear()
+        self.queue_drops.clear()

@@ -61,6 +61,9 @@ class UdpDatagram:
     dport: int = 0
     payload: Any = None
     payload_bytes: int = 0
+    #: ECN congestion-experienced bit, set in flight by a congested switch
+    #: egress queue (rides in the IP header: no wire-size change).
+    ecn: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:
@@ -106,6 +109,9 @@ class TcpSegment:
     #: Marks the last segment of an application-level message, so receivers
     #: can reassemble without modelling full TCP state machines.
     fin: bool = False
+    #: ECN congestion-experienced bit, set in flight by a congested switch
+    #: egress queue (rides in the IP header: no wire-size change).
+    ecn: bool = field(default=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.payload_bytes < 0:

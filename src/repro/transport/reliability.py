@@ -38,9 +38,21 @@ from typing import Any, Callable, Iterable
 
 from repro.core.errors import TransportError
 from repro.core.packet import DaietAck, DaietPacket, DaietPacketType, SeenWindow
+from repro.transport.window import (
+    MAX_BACKOFF_FACTOR,
+    TransportTuning,
+    WindowedSender,
+    make_congestion_controller,
+    make_rtt_estimator,
+    tuning_from_config,
+)
 
-#: Backoff cap: a retransmission timeout never grows beyond this multiple.
-MAX_BACKOFF_FACTOR = 8
+__all__ = [
+    "MAX_BACKOFF_FACTOR",
+    "HostReliabilityAgent",
+    "ReliabilityStats",
+    "ReliableSenderChannel",
+]
 
 
 @dataclass
@@ -56,6 +68,9 @@ class ReliabilityStats:
     pulls_sent: int = 0
     wire_bytes_sent: int = 0
     wire_bytes_retransmitted: int = 0
+    #: ECN marks echoed back by receivers on this host's streams (sender
+    #: side) — the congestion signal a DCTCP-style controller reacts to.
+    ecn_marks_echoed: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """The counters as a plain dictionary."""
@@ -63,12 +78,17 @@ class ReliabilityStats:
 
 
 class ReliableSenderChannel:
-    """Sender side of one (host, tree) stream: numbering, buffering, timers.
+    """Sender side of one (host, tree) stream over a :class:`WindowedSender`.
 
-    The channel assigns consecutive sequence numbers, keeps every sent packet
-    until it is acknowledged, retransmits on timeout (all outstanding
-    packets, go-back-N style, with exponential backoff) and gap-fills
-    immediately when a selective ACK shows the receiver overtook a hole.
+    The channel assigns consecutive sequence numbers and owns the DAIET
+    packet framing and statistics; buffering, ACK processing, gap-fill,
+    timeout retransmission, RTT estimation and congestion-window pacing all
+    live in the shared :class:`~repro.transport.window.WindowedSender`
+    engine (the same one driving the reliable-UDP baseline flows). With the
+    default :class:`~repro.transport.window.TransportTuning` the behaviour —
+    fixed RTO with capped exponential backoff, unlimited window, go-back-N
+    on timeout, one gap-fill per ACK progress — is event-for-event identical
+    to the historical standalone implementation.
     """
 
     def __init__(
@@ -81,13 +101,21 @@ class ReliableSenderChannel:
         max_retransmits: int,
         stats: ReliabilityStats,
         retain_for_replay: bool = False,
+        tuning: TransportTuning | None = None,
     ) -> None:
         if retransmit_timeout <= 0:
             raise TransportError("retransmit_timeout must be positive")
         self.simulator = simulator
         self.host = host
         self.tree_id = tree_id
-        self.retransmit_timeout = retransmit_timeout
+        self.tuning = tuning = tuning if tuning is not None else TransportTuning()
+        # In fixed-RTO mode the floor simply raises the base timeout (this is
+        # how the baseline comparison's historical 2 ms constant is spelled);
+        # in adaptive mode the estimator clamps against it instead.
+        base = retransmit_timeout
+        if not tuning.adaptive_rto and tuning.rto_floor is not None:
+            base = max(base, tuning.rto_floor)
+        self.retransmit_timeout = base
         self.max_retransmits = max_retransmits
         self.stats = stats
         #: Keep every packet ever sent (not just the unacknowledged ones) so
@@ -95,21 +123,33 @@ class ReliableSenderChannel:
         #: re-planned tree. The map-output buffer is the recovery log.
         self.retain_for_replay = retain_for_replay
         self._next_seq = 0
-        self._unacked: dict[int, DaietPacket] = {}
-        self._history: dict[int, DaietPacket] = {}
-        self._retransmitted: set[int] = set()
-        self._consecutive_timeouts = 0
-        self._timer = simulator.timer(self._on_timeout)
+        self._engine = WindowedSender(
+            timer_factory=simulator.timer,
+            transmit=self._transmit,
+            base_timeout=base,
+            max_retransmits=max_retransmits,
+            give_up=self._give_up,
+            on_timeout_stat=self._count_timeout,
+            clock=lambda: simulator.now,
+            rtt=make_rtt_estimator(tuning, base),
+            congestion=make_congestion_controller(tuning),
+            retain_history=retain_for_replay,
+        )
 
     @property
     def done(self) -> bool:
         """True once every sent packet has been acknowledged."""
-        return not self._unacked
+        return self._engine.done
 
     @property
     def outstanding(self) -> int:
-        """Number of unacknowledged packets."""
-        return len(self._unacked)
+        """Number of unacknowledged packets (in flight plus window-queued)."""
+        return self._engine.outstanding
+
+    @property
+    def engine(self) -> WindowedSender:
+        """The underlying windowed sender (diagnostics, tests)."""
+        return self._engine
 
     def take_seq(self) -> int:
         """Reserve the next sequence number."""
@@ -118,12 +158,15 @@ class ReliableSenderChannel:
         return seq
 
     def send(self, packets: Iterable[DaietPacket]) -> int:
-        """Inject sequenced packets into the network and buffer them.
+        """Buffer sequenced packets and inject them up to the send window.
 
-        The whole window is injected as one burst event (see
+        Without a congestion controller the whole window is injected as one
+        burst event (see
         :meth:`~repro.netsim.simulator.NetworkSimulator.send_burst`): the
         packets hit the wire in order at the same simulated time as
         per-packet sends would, but cost one scheduler entry instead of N.
+        With a controller, packets beyond the congestion window queue in the
+        engine and follow as acknowledgements open it.
         """
         # Validate the whole window before buffering or counting anything:
         # a bad packet mid-iteration must not leave earlier packets stranded
@@ -134,63 +177,48 @@ class ReliableSenderChannel:
                 raise TransportError(
                     "reliable channels require packets with sequence numbers"
                 )
-        stats = self.stats
-        retain = self.retain_for_replay
-        for packet in window:
-            self._unacked[packet.seq] = packet
-            if retain:
-                self._history[packet.seq] = packet
-            stats.packets_sent += 1
-            stats.wire_bytes_sent += packet.wire_bytes()
-        count = self.simulator.send_burst(self.host, window) if window else 0
-        if self._unacked and not self._timer.active:
-            self._timer.start(self.retransmit_timeout)
-        return count
+        return self._engine.send((packet.seq, packet) for packet in window)
 
     def on_ack(self, ack: DaietAck) -> None:
         """Drop acknowledged packets; gap-fill when the ACK proves a hole."""
-        self.stats.acks_received += 1
-        sacked = set(ack.sack)
-        acked = [s for s in self._unacked if s < ack.cumulative or s in sacked]
-        for seq in acked:
-            del self._unacked[seq]
-        if acked:
-            self._consecutive_timeouts = 0
-            # Progress: allow another retransmission round if later ACKs
-            # still report holes.
-            self._retransmitted.clear()
-        if sacked:
-            # Gap-fill at most once per ACK progress: duplicate ACKs carrying
-            # the same holes must not trigger a retransmission storm.
-            horizon = max(sacked)
-            missing = sorted(
-                s for s in self._unacked if s < horizon and s not in self._retransmitted
-            )
-            self._retransmitted.update(missing)
-            self._retransmit_many(missing)
-        if self._unacked:
-            self._timer.start(self.retransmit_timeout)
-        else:
-            self._timer.cancel()
-
-    def _retransmit_many(self, seqs: list[int]) -> None:
-        """Re-inject a batch of buffered packets as one burst event."""
-        if not seqs:
-            return
-        packets = [self._unacked[seq] for seq in seqs]
-        self.simulator.send_burst(self.host, packets)
         stats = self.stats
-        wire_bytes = sum(packet.wire_bytes() for packet in packets)
-        stats.retransmissions += len(packets)
-        stats.wire_bytes_sent += wire_bytes
-        stats.wire_bytes_retransmitted += wire_bytes
+        stats.acks_received += 1
+        echo = ack.ecn_echo
+        if echo:
+            stats.ecn_marks_echoed += echo
+        self._engine.on_ack(ack.cumulative, set(ack.sack), echo)
+
+    def _transmit(self, packets: list[DaietPacket], retransmit: bool) -> None:
+        """Engine callback: account one batch and put it on the wire."""
+        stats = self.stats
+        if retransmit:
+            self.simulator.send_burst(self.host, packets)
+            wire_bytes = sum(packet.wire_bytes() for packet in packets)
+            stats.retransmissions += len(packets)
+            stats.wire_bytes_sent += wire_bytes
+            stats.wire_bytes_retransmitted += wire_bytes
+        else:
+            for packet in packets:
+                stats.packets_sent += 1
+                stats.wire_bytes_sent += packet.wire_bytes()
+            self.simulator.send_burst(self.host, packets)
+
+    def _count_timeout(self) -> None:
+        self.stats.timeouts += 1
+
+    def _give_up(self, outstanding: int) -> None:
+        raise TransportError(
+            f"host {self.host!r} gave up on tree {self.tree_id} after "
+            f"{self.max_retransmits} consecutive retransmission timeouts "
+            f"({outstanding} packets still unacknowledged)"
+        )
 
     def sent_packets(self) -> list[DaietPacket]:
         """Every packet ever sent on this channel, in sequence order.
 
         Empty unless the channel was created with ``retain_for_replay``.
         """
-        return [self._history[seq] for seq in sorted(self._history)]
+        return self._engine.history()
 
     def close(self) -> None:
         """Cancel the retransmit timer and drop the buffers.
@@ -199,24 +227,7 @@ class ReliableSenderChannel:
         replacement channel owns the stream from then on, and a closed
         channel must never fire a timeout for the dead epoch.
         """
-        self._timer.cancel()
-        self._unacked.clear()
-        self._retransmitted.clear()
-
-    def _on_timeout(self) -> None:
-        if not self._unacked:
-            return
-        self._consecutive_timeouts += 1
-        self.stats.timeouts += 1
-        if self._consecutive_timeouts > self.max_retransmits:
-            raise TransportError(
-                f"host {self.host!r} gave up on tree {self.tree_id} after "
-                f"{self.max_retransmits} consecutive retransmission timeouts "
-                f"({len(self._unacked)} packets still unacknowledged)"
-            )
-        self._retransmit_many(sorted(self._unacked))
-        backoff = min(2 ** self._consecutive_timeouts, MAX_BACKOFF_FACTOR)
-        self._timer.start(self.retransmit_timeout * backoff)
+        self._engine.close()
 
 
 @dataclass
@@ -228,6 +239,9 @@ class _TreeReceiveState:
     inner: Callable[[Any], None]
     windows: dict[str, SeenWindow] = field(default_factory=dict)
     since_ack: dict[str, int] = field(default_factory=dict)
+    #: Fresh packets per child that arrived ECN-marked since the last ACK;
+    #: echoed (and reset) on every ACK so the sender sees the mark rate.
+    ecn_since_ack: dict[str, int] = field(default_factory=dict)
     ended: set[str] = field(default_factory=set)
     pending_end: dict[str, DaietPacket] = field(default_factory=dict)
     pull_timer: Any = None
@@ -258,6 +272,7 @@ class HostReliabilityAgent:
         ack_window: int,
         max_retransmits: int,
         retain_for_replay: bool = False,
+        tuning: TransportTuning | None = None,
     ) -> None:
         if ack_window <= 0:
             raise TransportError("ack_window must be positive")
@@ -267,6 +282,7 @@ class HostReliabilityAgent:
         self.ack_window = ack_window
         self.max_retransmits = max_retransmits
         self.retain_for_replay = retain_for_replay
+        self.tuning = tuning if tuning is not None else TransportTuning()
         self.stats = ReliabilityStats()
         self._senders: dict[int, ReliableSenderChannel] = {}
         self._recv: dict[int, _TreeReceiveState] = {}
@@ -288,6 +304,7 @@ class HostReliabilityAgent:
             ack_window=config.ack_window,
             max_retransmits=config.max_retransmits,
             retain_for_replay=getattr(config, "retain_for_replay", False),
+            tuning=tuning_from_config(config),
         )
 
     # ------------------------------------------------------------------ #
@@ -304,6 +321,7 @@ class HostReliabilityAgent:
                 max_retransmits=self.max_retransmits,
                 stats=self.stats,
                 retain_for_replay=self.retain_for_replay,
+                tuning=self.tuning,
             )
         return self._senders[tree_id]
 
@@ -394,6 +412,8 @@ class HostReliabilityAgent:
             self._send_ack(state, src)
             return
         state.pulls_without_progress = 0
+        if packet.ecn:
+            state.ecn_since_ack[src] = state.ecn_since_ack.get(src, 0) + 1
         if packet.packet_type is DaietPacketType.END:
             window.end_seq = packet.seq
             state.pending_end[src] = packet
@@ -430,6 +450,9 @@ class HostReliabilityAgent:
         window = state.windows.setdefault(src, SeenWindow())
         cumulative, sack = window.ack_state()
         state.since_ack[src] = 0
+        echo = state.ecn_since_ack.get(src, 0)
+        if echo:
+            state.ecn_since_ack[src] = 0
         ack = DaietAck(
             tree_id=state.tree_id,
             src=self.host,
@@ -437,6 +460,7 @@ class HostReliabilityAgent:
             cumulative=cumulative,
             sack=sack,
             pull=pull,
+            ecn_echo=echo,
         )
         self.simulator.send(self.host, ack)
         self.stats.acks_sent += 1

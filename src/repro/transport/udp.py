@@ -17,6 +17,12 @@ from repro.core.packet import SeenWindow
 from repro.netsim.events import Timer
 from repro.netsim.simulator import NetworkSimulator
 from repro.transport.packets import MessagePayload, UdpDatagram
+from repro.transport.window import (
+    TransportTuning,
+    WindowedSender,
+    make_congestion_controller,
+    make_rtt_estimator,
+)
 
 #: A conventional MTU-limited UDP payload (1500 B MTU minus IP and UDP headers).
 DEFAULT_UDP_PAYLOAD_LIMIT = 1472
@@ -124,20 +130,26 @@ class ReliableUdpStats(UdpStats):
     acks_sent: int = 0
     acks_received: int = 0
     duplicates_received: int = 0
+    #: ECN marks echoed back on ACKs (sender side) — the congestion signal
+    #: a DCTCP-style controller reacts to.
+    ecn_marks_echoed: int = 0
 
 
 @dataclass
 class _UdpFlow:
-    """Sender-side state of one reliable (src, dst, port) flow."""
+    """Sender-side state of one reliable (src, dst, port) flow.
+
+    Sequencing and addressing live here; buffering, ACK processing,
+    timeout retransmission, RTT estimation and congestion pacing live in
+    the flow's :class:`~repro.transport.window.WindowedSender` engine —
+    the same one driving the DAIET reliability channels.
+    """
 
     src: str
     dst: str
     port: int
     next_seq: int = 0
-    unacked: dict[int, UdpDatagram] = field(default_factory=dict)
-    retransmitted: set[int] = field(default_factory=set)
-    consecutive_timeouts: int = 0
-    timer: Timer | None = None
+    engine: WindowedSender | None = None
 
 
 class ReliableUdpTransport(UdpTransport):
@@ -149,6 +161,15 @@ class ReliableUdpTransport(UdpTransport):
     deduplicate with a :class:`~repro.core.packet.SeenWindow` and acknowledge
     every ``ack_window``-th datagram (plus immediately on gaps/duplicates).
     Both endpoints must use this transport; ACKs travel on the same port.
+
+    ``tuning`` selects the adaptive-transport features of the shared
+    :class:`~repro.transport.window.WindowedSender` engine (SRTT/RTTVAR
+    retransmission timeouts, AIMD/DCTCP congestion windows); the default
+    tuning reproduces the historical fixed-RTO, unlimited-window behaviour
+    byte for byte. A fixed-mode ``rto_floor`` raises the *effective* base
+    timeout for the whole transport — retransmission timers and delayed-ACK
+    pacing alike — which is how the baseline comparison's historical 2 ms
+    incast guard is expressed.
     """
 
     def __init__(
@@ -158,12 +179,16 @@ class ReliableUdpTransport(UdpTransport):
         retransmit_timeout: float = 1e-4,
         ack_window: int = 8,
         max_retransmits: int = 30,
+        tuning: TransportTuning | None = None,
     ) -> None:
         super().__init__(simulator, payload_limit)
         if retransmit_timeout <= 0:
             raise TransportError("retransmit_timeout must be positive")
         if ack_window <= 0:
             raise TransportError("ack_window must be positive")
+        self.tuning = tuning = tuning if tuning is not None else TransportTuning()
+        if not tuning.adaptive_rto and tuning.rto_floor is not None:
+            retransmit_timeout = max(retransmit_timeout, tuning.rto_floor)
         self.retransmit_timeout = retransmit_timeout
         self.ack_window = ack_window
         self.max_retransmits = max_retransmits
@@ -171,8 +196,13 @@ class ReliableUdpTransport(UdpTransport):
         self._flows: dict[tuple[str, str, int], _UdpFlow] = {}
         self._windows: dict[tuple[str, str, int], SeenWindow] = {}
         self._since_ack: dict[tuple[str, str, int], int] = {}
+        self._ecn_since_ack: dict[tuple[str, str, int], int] = {}
         self._delayed_acks: dict[tuple[str, str, int], Timer] = {}
         self._apps: dict[tuple[str, int], Callable[[str, MessagePayload], None]] = {}
+        #: CE bit of the datagram currently being dispatched (the listener
+        #: callback only sees ``(src, payload)``, so the receiver stashes the
+        #: packet-level mark here; delivery is synchronous and single-file).
+        self._rx_ecn = False
 
     # ------------------------------------------------------------------ #
     # Receiver side
@@ -187,6 +217,18 @@ class ReliableUdpTransport(UdpTransport):
     def _ensure_dispatcher(self, host: str, port: int) -> None:
         if (host, port) not in self._listeners:
             self.listen(host, port, self._make_dispatcher(host, port))
+
+    def _make_receiver(self, host: str) -> Callable[[Any], None]:
+        # Stash the datagram's CE bit before the base receiver strips the
+        # framing down to (src, payload): _handle_data reads it synchronously
+        # while this very packet is being dispatched.
+        inner = super()._make_receiver(host)
+
+        def receive(packet: Any) -> None:
+            self._rx_ecn = getattr(packet, "ecn", False)
+            inner(packet)
+
+        return receive
 
     def _make_dispatcher(self, host: str, port: int):
         def dispatch(src: str, payload: MessagePayload) -> None:
@@ -206,6 +248,8 @@ class ReliableUdpTransport(UdpTransport):
         key = (host, src, port)
         window = self._windows.setdefault(key, SeenWindow())
         fresh = window.observe(seq)
+        if fresh and self._rx_ecn:
+            self._ecn_since_ack[key] = self._ecn_since_ack.get(key, 0) + 1
         if not fresh:
             self.stats.duplicates_received += 1
         else:
@@ -237,11 +281,18 @@ class ReliableUdpTransport(UdpTransport):
 
     def _send_ack(self, host: str, peer: str, port: int, window: SeenWindow) -> None:
         cumulative, sack = window.ack_state()
-        self._since_ack[(host, peer, port)] = 0
-        timer = self._delayed_acks.get((host, peer, port))
+        key = (host, peer, port)
+        self._since_ack[key] = 0
+        echo = self._ecn_since_ack.get(key, 0)
+        if echo:
+            self._ecn_since_ack[key] = 0
+        timer = self._delayed_acks.get(key)
         if timer is not None:
             timer.cancel()
-        ack = MessagePayload(kind=_REL_ACK, meta={"cumulative": cumulative, "sack": sack})
+        ack = MessagePayload(
+            kind=_REL_ACK,
+            meta={"cumulative": cumulative, "sack": sack, "ecn": echo},
+        )
         self.send_datagram(
             host, peer, ack, RELIABLE_UDP_ACK_BYTES, sport=port, dport=port
         )
@@ -258,81 +309,96 @@ class ReliableUdpTransport(UdpTransport):
         payload_bytes: int,
         port: int = 0,
     ) -> UdpDatagram:
-        """Send one datagram with retransmission until acknowledged."""
+        """Send one datagram with retransmission until acknowledged.
+
+        With a congestion controller in the tuning, datagrams beyond the
+        flow's window queue inside the engine and follow as earlier ones
+        are acknowledged; without one every datagram hits the wire
+        immediately (the historical behaviour).
+        """
         self._ensure_dispatcher(src, port)
         key = (src, dst, port)
         flow = self._flows.get(key)
         if flow is None:
             flow = _UdpFlow(src=src, dst=dst, port=port)
-            flow.timer = Timer(
-                self.simulator.scheduler, lambda: self._on_timeout(flow)
-            )
+            flow.engine = self._make_engine(flow)
             self._flows[key] = flow
         seq = flow.next_seq
         flow.next_seq += 1
         wrapped = MessagePayload(kind=_REL_DATA, data=payload, meta={"seq": seq})
-        datagram = self.send_datagram(
-            src,
-            dst,
-            wrapped,
-            payload_bytes + RELIABLE_UDP_SEQ_BYTES,
+        framed_bytes = payload_bytes + RELIABLE_UDP_SEQ_BYTES
+        if framed_bytes > self.payload_limit:
+            raise TransportError(
+                f"datagram payload of {framed_bytes} B exceeds the "
+                f"{self.payload_limit} B limit; split the message first"
+            )
+        datagram = UdpDatagram(
+            src=src,
+            dst=dst,
             sport=port,
             dport=port,
+            payload=wrapped,
+            payload_bytes=framed_bytes,
         )
-        flow.unacked[seq] = datagram
-        if not flow.timer.active:
-            flow.timer.start(self.retransmit_timeout)
+        flow.engine.send(((seq, datagram),))
         return datagram
 
+    def _make_engine(self, flow: _UdpFlow) -> WindowedSender:
+        tuning = self.tuning
+        base = self.retransmit_timeout
+
+        def give_up(_outstanding: int) -> None:
+            raise TransportError(
+                f"reliable UDP flow {flow.src!r}->{flow.dst!r} gave up after "
+                f"{self.max_retransmits} consecutive timeouts"
+            )
+
+        def count_timeout() -> None:
+            self.stats.timeouts += 1
+
+        return WindowedSender(
+            timer_factory=lambda cb: Timer(self.simulator.scheduler, cb),
+            transmit=lambda datagrams, retransmit: self._flow_transmit(
+                flow, datagrams, retransmit
+            ),
+            base_timeout=base,
+            max_retransmits=self.max_retransmits,
+            give_up=give_up,
+            on_timeout_stat=count_timeout,
+            clock=lambda: self.simulator.now,
+            rtt=make_rtt_estimator(tuning, base),
+            congestion=make_congestion_controller(tuning),
+        )
+
+    def _flow_transmit(
+        self, flow: _UdpFlow, datagrams: list[UdpDatagram], retransmit: bool
+    ) -> None:
+        """Engine callback: account one batch and put it on the wire."""
+        stats = self.stats
+        if retransmit:
+            self.simulator.send_burst(flow.src, datagrams)
+            stats.retransmissions += len(datagrams)
+            stats.wire_bytes_sent += sum(d.wire_bytes() for d in datagrams)
+        else:
+            send = self.simulator.send
+            for datagram in datagrams:
+                send(flow.src, datagram)
+                stats.datagrams_sent += 1
+                stats.payload_bytes_sent += datagram.payload_bytes
+                stats.wire_bytes_sent += datagram.wire_bytes()
+
     def flow_done(self, src: str, dst: str, port: int = 0) -> bool:
-        """True when the flow has no unacknowledged datagrams."""
+        """True when the flow has no unacknowledged or window-queued datagrams."""
         flow = self._flows.get((src, dst, port))
-        return flow is None or not flow.unacked
+        return flow is None or flow.engine.done
 
     def _handle_ack(self, flow: _UdpFlow | None, payload: MessagePayload) -> None:
         if flow is None:
             return
         self.stats.acks_received += 1
-        cumulative = payload.meta["cumulative"]
-        sacked = set(payload.meta.get("sack", ()))
-        acked = [s for s in flow.unacked if s < cumulative or s in sacked]
-        for seq in acked:
-            del flow.unacked[seq]
-        if acked:
-            flow.consecutive_timeouts = 0
-            flow.retransmitted.clear()
-        if sacked:
-            # Gap-fill at most once per ACK progress (no duplicate-ACK storm).
-            horizon = max(sacked)
-            missing = sorted(
-                s for s in flow.unacked if s < horizon and s not in flow.retransmitted
-            )
-            flow.retransmitted.update(missing)
-            self._retransmit_many(flow, missing)
-        if flow.unacked:
-            flow.timer.start(self.retransmit_timeout)
-        else:
-            flow.timer.cancel()
-
-    def _retransmit_many(self, flow: _UdpFlow, seqs: list[int]) -> None:
-        """Re-inject a batch of unacknowledged datagrams as one burst event."""
-        if not seqs:
-            return
-        datagrams = [flow.unacked[seq] for seq in seqs]
-        self.simulator.send_burst(flow.src, datagrams)
-        self.stats.retransmissions += len(datagrams)
-        self.stats.wire_bytes_sent += sum(d.wire_bytes() for d in datagrams)
-
-    def _on_timeout(self, flow: _UdpFlow) -> None:
-        if not flow.unacked:
-            return
-        flow.consecutive_timeouts += 1
-        self.stats.timeouts += 1
-        if flow.consecutive_timeouts > self.max_retransmits:
-            raise TransportError(
-                f"reliable UDP flow {flow.src!r}->{flow.dst!r} gave up after "
-                f"{self.max_retransmits} consecutive timeouts"
-            )
-        self._retransmit_many(flow, sorted(flow.unacked))
-        backoff = min(2**flow.consecutive_timeouts, 8)
-        flow.timer.start(self.retransmit_timeout * backoff)
+        echo = payload.meta.get("ecn", 0)
+        if echo:
+            self.stats.ecn_marks_echoed += echo
+        flow.engine.on_ack(
+            payload.meta["cumulative"], set(payload.meta.get("sack", ())), echo
+        )

@@ -1,0 +1,614 @@
+"""Unified windowed sender: one retransmission engine for every transport.
+
+Before this module existed the repository carried two parallel sender state
+machines — :class:`~repro.transport.reliability.ReliableSenderChannel` for
+DAIET aggregation traffic and ``_UdpFlow`` inside
+:class:`~repro.transport.udp.ReliableUdpTransport` for the baselines — each
+with its own retransmit buffer, timer and gap-fill logic, and both pinned to
+a *fixed* retransmission timeout. :class:`WindowedSender` subsumes both:
+
+* a shared **retransmit buffer** (sequence number -> opaque packet) with
+  cumulative+selective acknowledgement processing, one-shot gap-filling per
+  ACK progress and go-back-N retransmission on timeout;
+* an optional **RTT estimator** (:class:`RttEstimator`, RFC 6298 SRTT/RTTVAR
+  with Karn's rule on retransmitted samples and exponential backoff clamped
+  to a configurable floor/ceiling) replacing the fixed timeout;
+* an optional **congestion controller** (:class:`AimdController` or the
+  DCTCP-style :class:`DctcpController` driven by ECN marks echoed on ACKs)
+  that bounds the number of in-flight packets; excess packets queue in the
+  sender and are released as acknowledgements open the window.
+
+With neither estimator nor controller installed (the default), the sender
+reproduces the historical fixed-RTO, unlimited-window behaviour event for
+event — every existing experiment stays byte-identical.
+
+The owner supplies the environment through three callbacks: ``timer_factory``
+(a restartable one-shot timer on the simulation clock), ``clock`` (current
+simulated time, only consulted when RTT sampling is active) and ``transmit``
+(inject a burst of packets and do the owner's accounting). This keeps the
+engine free of any dependency on the packet type or the statistics object,
+which is exactly what lets DAIET channels and UDP flows share it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable
+
+from repro.checks.registry import fastpath
+from repro.core.errors import TransportError
+
+#: Backoff cap for the fixed-RTO mode: a retransmission timeout never grows
+#: beyond this multiple of the base timeout (the historical behaviour).
+MAX_BACKOFF_FACTOR = 8
+
+#: Congestion-controller names accepted by :func:`make_congestion_controller`.
+CONGESTION_CONTROLLERS = ("none", "aimd", "dctcp")
+
+
+@dataclass(frozen=True)
+class TransportTuning:
+    """Adaptive-transport knobs shared by every windowed sender.
+
+    The defaults reproduce the historical transport exactly: fixed
+    retransmission timeout, no congestion window, no ECN reaction.
+
+    Parameters
+    ----------
+    adaptive_rto:
+        Estimate the RTO from SRTT/RTTVAR samples (RFC 6298) instead of
+        using the base timeout as a fixed RTO.
+    rto_floor:
+        Lower clamp on the retransmission timeout. In fixed-RTO mode a floor
+        above the base timeout simply raises the fixed RTO (this is how the
+        baseline comparison's historical 2 ms constant is expressed); in
+        adaptive mode it bounds how aggressively the estimator may retransmit.
+        ``None`` leaves the base timeout unclamped.
+    rto_ceiling:
+        Upper clamp on the (adaptive, backed-off) retransmission timeout.
+    congestion_control:
+        ``"none"`` (unlimited window), ``"aimd"`` (slow start + additive
+        increase, multiplicative decrease on loss) or ``"dctcp"`` (AIMD
+        whose decrease scales with the EWMA fraction of ECN-marked ACKs).
+    initial_cwnd:
+        Initial congestion window in packets.
+    min_cwnd:
+        Smallest window the controller may shrink to.
+    dctcp_gain:
+        EWMA gain ``g`` of the DCTCP mark-fraction estimate.
+    """
+
+    adaptive_rto: bool = False
+    rto_floor: float | None = None
+    rto_ceiling: float = 0.25
+    congestion_control: str = "none"
+    initial_cwnd: int = 10
+    min_cwnd: int = 2
+    dctcp_gain: float = 0.0625
+
+    def __post_init__(self) -> None:
+        if self.congestion_control not in CONGESTION_CONTROLLERS:
+            raise TransportError(
+                f"unknown congestion controller {self.congestion_control!r}; "
+                f"expected one of {CONGESTION_CONTROLLERS}"
+            )
+        if self.rto_floor is not None and self.rto_floor <= 0:
+            raise TransportError("rto_floor must be positive when set")
+        if self.rto_ceiling <= 0:
+            raise TransportError("rto_ceiling must be positive")
+        if self.initial_cwnd <= 0:
+            raise TransportError("initial_cwnd must be positive")
+        if self.min_cwnd <= 0:
+            raise TransportError("min_cwnd must be positive")
+        if not 0.0 < self.dctcp_gain <= 1.0:
+            raise TransportError("dctcp_gain must lie in (0, 1]")
+
+    @property
+    def is_default(self) -> bool:
+        """True when the tuning changes nothing over the historical transport."""
+        return not self.adaptive_rto and self.congestion_control == "none"
+
+
+# ---------------------------------------------------------------------- #
+# RTT estimation (RFC 6298)
+# ---------------------------------------------------------------------- #
+class RttEstimator:
+    """SRTT/RTTVAR retransmission-timeout estimator per RFC 6298.
+
+    * first sample ``R``: ``SRTT = R``, ``RTTVAR = R/2``;
+    * later samples: ``RTTVAR = (1-beta)*RTTVAR + beta*|SRTT-R|`` then
+      ``SRTT = (1-alpha)*SRTT + alpha*R`` with ``alpha = 1/8``,
+      ``beta = 1/4``;
+    * ``RTO = SRTT + K*RTTVAR`` (``K = 4``), clamped to ``[floor, ceiling]``;
+    * :meth:`backoff` doubles the RTO (timer backoff); the next valid sample
+      recomputes it from SRTT, which is what ends a backoff episode.
+
+    Karn's rule lives in the caller (:class:`WindowedSender`): samples are
+    simply never taken for retransmitted packets, so this class only ever
+    sees valid measurements.
+    """
+
+    ALPHA = 0.125
+    BETA = 0.25
+    K = 4
+
+    __slots__ = ("floor", "ceiling", "srtt", "rttvar", "_rto", "samples")
+
+    def __init__(self, *, initial_rto: float, floor: float, ceiling: float) -> None:
+        if floor <= 0:
+            raise TransportError("RTO floor must be positive")
+        if ceiling < floor:
+            raise TransportError("RTO ceiling must not lie below the floor")
+        self.floor = floor
+        self.ceiling = ceiling
+        self.srtt: float | None = None
+        self.rttvar: float | None = None
+        self._rto = self._clamp(initial_rto)
+        self.samples = 0
+
+    def _clamp(self, value: float) -> float:
+        if value < self.floor:
+            return self.floor
+        if value > self.ceiling:
+            return self.ceiling
+        return value
+
+    @property
+    def rto(self) -> float:
+        """The current retransmission timeout."""
+        return self._rto
+
+    def observe(self, sample: float) -> None:
+        """Fold one RTT measurement into SRTT/RTTVAR and recompute the RTO."""
+        if sample < 0:
+            raise TransportError("RTT samples must be non-negative")
+        if self.srtt is None:
+            self.srtt = sample
+            self.rttvar = sample / 2
+        else:
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(
+                self.srtt - sample
+            )
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * sample
+        self.samples += 1
+        self._rto = self._clamp(self.srtt + self.K * self.rttvar)
+
+    def backoff(self) -> None:
+        """Double the RTO (exponential timer backoff, ceiling-clamped)."""
+        self._rto = self._clamp(self._rto * 2)
+
+
+# ---------------------------------------------------------------------- #
+# Congestion control
+# ---------------------------------------------------------------------- #
+class CongestionController:
+    """Interface every pluggable congestion controller implements.
+
+    The windowed sender reports three events — acknowledged packets (with
+    the count of ECN marks echoed on the ACK), a SACK-proven hole that
+    triggered a gap-fill, and a retransmission timeout — and reads back
+    :meth:`window`, the number of packets allowed in flight.
+    """
+
+    def window(self) -> int:
+        """Current congestion window in whole packets (>= 1)."""
+        raise NotImplementedError
+
+    def on_ack(self, acked: int, marked: int) -> None:
+        """``acked`` fresh packets acknowledged, ``marked`` of them ECN-marked."""
+        raise NotImplementedError
+
+    def on_gap(self) -> None:
+        """A selective ACK proved a hole (fast-retransmit-grade loss signal)."""
+        raise NotImplementedError
+
+    def on_timeout(self) -> None:
+        """The retransmission timer fired (severe loss signal)."""
+        raise NotImplementedError
+
+
+class AimdController(CongestionController):
+    """Slow start + AIMD, the classic TCP-style controller.
+
+    Below ``ssthresh`` every acknowledged packet grows the window by one
+    (slow start); above it the window grows by ``1/cwnd`` per acknowledged
+    packet (congestion avoidance). A SACK hole halves the window; a timeout
+    collapses it to ``min_cwnd`` and re-enters slow start.
+    """
+
+    __slots__ = ("cwnd", "ssthresh", "min_cwnd")
+
+    def __init__(self, *, initial_cwnd: int = 10, min_cwnd: int = 2) -> None:
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.min_cwnd = float(min_cwnd)
+
+    def window(self) -> int:
+        return max(1, int(self.cwnd))
+
+    def on_ack(self, acked: int, marked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += acked
+        else:
+            self.cwnd += acked / self.cwnd
+
+    def on_gap(self) -> None:
+        self.ssthresh = max(self.min_cwnd, self.cwnd / 2)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self) -> None:
+        self.ssthresh = max(self.min_cwnd, self.cwnd / 2)
+        self.cwnd = self.min_cwnd
+
+
+class DctcpController(AimdController):
+    """DCTCP-style controller: scale the decrease by the ECN-marked fraction.
+
+    The controller keeps an EWMA ``alpha`` of the fraction of acknowledged
+    packets that carried an ECN mark (gain ``g``), updated once per window
+    of acknowledgements, and on a marked window shrinks the congestion
+    window by ``alpha/2`` instead of the blanket AIMD halving — small
+    persistent queues yield gentle, proportional decreases. Loss events
+    (SACK holes, timeouts) still react like AIMD.
+    """
+
+    __slots__ = ("gain", "alpha", "_acked_in_round", "_marked_in_round")
+
+    def __init__(
+        self,
+        *,
+        initial_cwnd: int = 10,
+        min_cwnd: int = 2,
+        gain: float = 0.0625,
+    ) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, min_cwnd=min_cwnd)
+        self.gain = gain
+        self.alpha = 0.0
+        self._acked_in_round = 0
+        self._marked_in_round = 0
+
+    def on_ack(self, acked: int, marked: int) -> None:
+        super().on_ack(acked, 0)
+        self._acked_in_round += acked
+        self._marked_in_round += marked
+        if self._acked_in_round >= self.window():
+            fraction = self._marked_in_round / self._acked_in_round
+            self.alpha = (1 - self.gain) * self.alpha + self.gain * fraction
+            if self._marked_in_round:
+                self.cwnd = max(self.min_cwnd, self.cwnd * (1 - self.alpha / 2))
+                self.ssthresh = max(self.min_cwnd, self.cwnd)
+            self._acked_in_round = 0
+            self._marked_in_round = 0
+
+
+def make_congestion_controller(tuning: TransportTuning) -> CongestionController | None:
+    """Build the controller the tuning asks for (``None`` for ``"none"``)."""
+    if tuning.congestion_control == "aimd":
+        return AimdController(
+            initial_cwnd=tuning.initial_cwnd, min_cwnd=tuning.min_cwnd
+        )
+    if tuning.congestion_control == "dctcp":
+        return DctcpController(
+            initial_cwnd=tuning.initial_cwnd,
+            min_cwnd=tuning.min_cwnd,
+            gain=tuning.dctcp_gain,
+        )
+    return None
+
+
+def tuning_from_config(config: Any) -> TransportTuning:
+    """Extract a :class:`TransportTuning` from a configuration object.
+
+    Reads the adaptive-transport attributes of
+    :class:`~repro.core.config.DaietConfig` (or anything duck-typed like
+    it); missing attributes fall back to the byte-identical defaults, so
+    older ad-hoc config objects keep working.
+    """
+    return TransportTuning(
+        adaptive_rto=getattr(config, "adaptive_rto", False),
+        rto_floor=getattr(config, "rto_floor", None),
+        rto_ceiling=getattr(config, "rto_ceiling", 0.25),
+        congestion_control=getattr(config, "congestion_control", "none"),
+        initial_cwnd=getattr(config, "initial_cwnd", 10),
+        min_cwnd=getattr(config, "min_cwnd", 2),
+        dctcp_gain=getattr(config, "dctcp_gain", 0.0625),
+    )
+
+
+def make_rtt_estimator(
+    tuning: TransportTuning, base_timeout: float
+) -> RttEstimator | None:
+    """Build the RTT estimator the tuning asks for (``None`` when fixed)."""
+    if not tuning.adaptive_rto:
+        return None
+    floor = tuning.rto_floor if tuning.rto_floor is not None else base_timeout
+    return RttEstimator(
+        initial_rto=base_timeout,
+        floor=floor,
+        ceiling=max(tuning.rto_ceiling, floor),
+    )
+
+
+# ---------------------------------------------------------------------- #
+# The unified sender
+# ---------------------------------------------------------------------- #
+class WindowedSender:
+    """One sender state machine for every reliable transport in the repo.
+
+    The engine owns sequence-indexed buffering, ACK processing, gap-fill,
+    timeout retransmission, RTT sampling and window pacing; the owner owns
+    packet construction and statistics via the ``transmit`` callback:
+
+    ``transmit(packets, retransmit)``
+        Inject ``packets`` (in order, as one burst) and account them;
+        ``retransmit`` distinguishes fresh sends from re-sends.
+
+    ``on_timeout_stat()``
+        Called once per retransmission timeout, before the give-up check —
+        mirrors the historical accounting order exactly.
+
+    ``give_up(outstanding)``
+        Called when ``max_retransmits`` consecutive timeouts elapsed without
+        progress; must raise the owner's error.
+    """
+
+    __slots__ = (
+        "base_timeout",
+        "max_retransmits",
+        "_transmit",
+        "_on_timeout_stat",
+        "_give_up",
+        "_clock",
+        "_rtt",
+        "_cc",
+        "_unacked",
+        "_pending",
+        "_history",
+        "_retransmitted",
+        "_sent_at",
+        "_consecutive_timeouts",
+        "_timer",
+        "retain_history",
+    )
+
+    def __init__(
+        self,
+        *,
+        timer_factory: Callable[[Callable[[], None]], Any],
+        transmit: Callable[[list[Any], bool], None],
+        base_timeout: float,
+        max_retransmits: int,
+        give_up: Callable[[int], None],
+        on_timeout_stat: Callable[[], None] | None = None,
+        clock: Callable[[], float] | None = None,
+        rtt: RttEstimator | None = None,
+        congestion: CongestionController | None = None,
+        retain_history: bool = False,
+    ) -> None:
+        if base_timeout <= 0:
+            raise TransportError("retransmit_timeout must be positive")
+        self.base_timeout = base_timeout
+        self.max_retransmits = max_retransmits
+        self._transmit = transmit
+        self._on_timeout_stat = on_timeout_stat
+        self._give_up = give_up
+        self._clock = clock
+        self._rtt = rtt
+        if rtt is not None and clock is None:
+            raise TransportError("adaptive RTO requires a clock callback")
+        self._cc = congestion
+        #: seq -> packet, in-flight (injected and not yet acknowledged).
+        self._unacked: dict[int, Any] = {}
+        #: (seq, packet) accepted but still waiting for window space.
+        self._pending: deque[tuple[int, Any]] = deque()
+        #: seq -> packet for every packet ever accepted (replay log).
+        self._history: dict[int, Any] = {}
+        #: Sequence numbers retransmitted since the last ACK progress.
+        self._retransmitted: set[int] = set()
+        #: seq -> injection time for RTT sampling (Karn: a retransmission
+        #: deletes the entry, so the sample is never taken).
+        self._sent_at: dict[int, float] = {}
+        self._consecutive_timeouts = 0
+        self._timer = timer_factory(self._on_timeout)
+        self.retain_history = retain_history
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def done(self) -> bool:
+        """True once every accepted packet has been acknowledged."""
+        return not self._unacked and not self._pending
+
+    @property
+    def outstanding(self) -> int:
+        """Packets accepted and not yet acknowledged (in flight + queued)."""
+        return len(self._unacked) + len(self._pending)
+
+    @property
+    def in_flight(self) -> int:
+        """Packets injected into the network and not yet acknowledged."""
+        return len(self._unacked)
+
+    @property
+    def timer(self) -> Any:
+        """The retransmission timer (owner teardown)."""
+        return self._timer
+
+    @property
+    def rtt(self) -> RttEstimator | None:
+        """The installed RTT estimator, if any."""
+        return self._rtt
+
+    @property
+    def congestion(self) -> CongestionController | None:
+        """The installed congestion controller, if any."""
+        return self._cc
+
+    def current_rto(self) -> float:
+        """The timeout used for the next timer (re)start."""
+        if self._rtt is not None:
+            return self._rtt.rto
+        return self.base_timeout
+
+    def history(self) -> list[Any]:
+        """Every packet ever accepted, in sequence order (replay log)."""
+        return [self._history[seq] for seq in sorted(self._history)]
+
+    # ------------------------------------------------------------------ #
+    # Send path
+    # ------------------------------------------------------------------ #
+    def send(self, items: Iterable[tuple[int, Any]]) -> int:
+        """Accept sequenced packets; inject up to the window, queue the rest.
+
+        Returns the number of packets accepted. With no congestion
+        controller installed every packet is injected immediately as one
+        burst — byte-identical to the historical unwindowed senders.
+        """
+        window = list(items)
+        if window:
+            if self.retain_history:
+                for seq, packet in window:
+                    self._history[seq] = packet
+            cc = self._cc
+            if cc is None:
+                allowance = len(window)
+            else:
+                allowance = max(0, cc.window() - len(self._unacked))
+            now_batch = window[:allowance]
+            for seq, packet in window[allowance:]:
+                self._pending.append((seq, packet))
+            if now_batch:
+                self._inject(now_batch, retransmit=False)
+        if self._unacked and not self._timer.active:
+            self._timer.start(self.current_rto())
+        return len(window)
+
+    def _inject(self, batch: list[tuple[int, Any]], retransmit: bool) -> None:
+        """Move a batch into the unacked buffer and hand it to the owner."""
+        unacked = self._unacked
+        for seq, packet in batch:
+            unacked[seq] = packet
+        if self._rtt is not None:
+            now = self._clock()
+            sent_at = self._sent_at
+            for seq, _packet in batch:
+                sent_at[seq] = now
+        self._transmit([packet for _seq, packet in batch], retransmit)
+
+    def _release_pending(self) -> None:
+        """Inject queued packets as acknowledgements open the window."""
+        cc = self._cc
+        if cc is None or not self._pending:
+            return
+        allowance = cc.window() - len(self._unacked)
+        if allowance <= 0:
+            return
+        pending = self._pending
+        batch = []
+        while pending and allowance > 0:
+            batch.append(pending.popleft())
+            allowance -= 1
+        if batch:
+            self._inject(batch, retransmit=False)
+
+    # ------------------------------------------------------------------ #
+    # ACK path
+    # ------------------------------------------------------------------ #
+    @fastpath("window-advance", oracle="tests/transport/test_windowed_sender.py")
+    def on_ack(self, cumulative: int, sacked: set[int], marked: int = 0) -> None:
+        """Advance the window for one cumulative+selective acknowledgement.
+
+        Drops everything the ACK covers, samples the RTT from the newest
+        freshly-acknowledged packet (Karn's rule: never from a retransmitted
+        one), gap-fills once per ACK progress when the SACK set proves a
+        hole, feeds the congestion controller and releases queued packets
+        into the opened window. ``marked`` is the count of ECN-marked
+        packets the receiver echoed on this ACK.
+        """
+        unacked = self._unacked
+        acked = [s for s in unacked if s < cumulative or s in sacked]
+        sample_ts: float | None = None
+        if acked:
+            sent_at = self._sent_at
+            if self._rtt is not None:
+                for seq in acked:
+                    ts = sent_at.pop(seq, None)
+                    if ts is not None:
+                        sample_ts = ts
+            elif sent_at:
+                for seq in acked:
+                    sent_at.pop(seq, None)
+            for seq in acked:
+                del unacked[seq]
+            self._consecutive_timeouts = 0
+            # Progress: allow another retransmission round if later ACKs
+            # still report holes.
+            self._retransmitted.clear()
+            if sample_ts is not None:
+                self._rtt.observe(self._clock() - sample_ts)
+            if self._cc is not None:
+                self._cc.on_ack(len(acked), marked)
+        if sacked:
+            # Gap-fill at most once per ACK progress: duplicate ACKs carrying
+            # the same holes must not trigger a retransmission storm.
+            horizon = max(sacked)
+            retransmitted = self._retransmitted
+            missing = sorted(
+                s for s in unacked if s < horizon and s not in retransmitted
+            )
+            if missing:
+                retransmitted.update(missing)
+                self.retransmit(missing)
+                if self._cc is not None:
+                    self._cc.on_gap()
+        self._release_pending()
+        if unacked:
+            self._timer.start(self.current_rto())
+        else:
+            self._timer.cancel()
+
+    def retransmit(self, seqs: list[int]) -> None:
+        """Re-inject buffered packets (Karn: their RTT samples are voided)."""
+        if not seqs:
+            return
+        unacked = self._unacked
+        sent_at = self._sent_at
+        if sent_at:
+            for seq in seqs:
+                sent_at.pop(seq, None)
+        self._transmit([unacked[seq] for seq in seqs], True)
+
+    # ------------------------------------------------------------------ #
+    # Timeout path
+    # ------------------------------------------------------------------ #
+    def _on_timeout(self) -> None:
+        if not self._unacked:
+            return
+        self._consecutive_timeouts += 1
+        if self._on_timeout_stat is not None:
+            self._on_timeout_stat()
+        if self._consecutive_timeouts > self.max_retransmits:
+            self._give_up(self.outstanding)
+            return
+        self.retransmit(sorted(self._unacked))
+        if self._cc is not None:
+            self._cc.on_timeout()
+        if self._rtt is not None:
+            self._rtt.backoff()
+            self._timer.start(self._rtt.rto)
+        else:
+            backoff = min(2**self._consecutive_timeouts, MAX_BACKOFF_FACTOR)
+            self._timer.start(self.base_timeout * backoff)
+
+    # ------------------------------------------------------------------ #
+    # Teardown
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Cancel the timer and drop every buffer except the replay log."""
+        self._timer.cancel()
+        self._unacked.clear()
+        self._pending.clear()
+        self._retransmitted.clear()
+        self._sent_at.clear()

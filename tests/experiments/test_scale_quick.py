@@ -78,7 +78,7 @@ class TestBaselineComparison:
             ScaleSettings().quick(),
             loss_rate=0.02,
             loss_seed=3,
-            baseline_retransmit_timeout=5e-4,
+            rto_floor=5e-4,
         )
         baseline = run_baseline_once(settings, 16, "udp")
         assert baseline.exact
