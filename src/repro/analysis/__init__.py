@@ -1,5 +1,12 @@
 """Metrics and reporting helpers used by the benchmark harness."""
 
+from repro.analysis.error_bounds import (
+    ErrorBoundTracker,
+    TreeErrorBound,
+    TreeErrorLedger,
+    install_error_tracker,
+    true_error_l1,
+)
 from repro.analysis.metrics import (
     BoxplotStats,
     MetricsError,
@@ -18,6 +25,11 @@ from repro.analysis.reporting import (
 
 __all__ = [
     "BoxplotStats",
+    "ErrorBoundTracker",
+    "TreeErrorBound",
+    "TreeErrorLedger",
+    "install_error_tracker",
+    "true_error_l1",
     "MetricsError",
     "per_reducer_reduction",
     "percentile",

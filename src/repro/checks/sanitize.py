@@ -5,11 +5,12 @@ the sanitizer wraps one :class:`~repro.netsim.simulator.NetworkSimulator`
 instance with:
 
 * a **conservation ledger** asserting, per packet class, that
-  ``sent + switch_out == delivered + lost_or_dropped + switch_in + faulted``
-  once the event queue drains (and that in-flight never goes negative
-  mid-run); the ``faulted`` bucket is fed by the fault injector
+  ``sent + switch_out == delivered + lost_or_dropped + switch_in + faulted
+  + unprotected`` once the event queue drains (and that in-flight never goes
+  negative mid-run); the ``faulted`` bucket is fed by the fault injector
   (:mod:`repro.netsim.faults`) for packets destroyed by crashed devices or
-  downed links;
+  downed links, and ``unprotected`` counts drops on trees deliberately run
+  under a reduced reliability policy (``sampled`` / ``best_effort``);
 * **sim-time monotonicity** and **dispatch-order** checks on every event,
   plus periodic **backend structural invariants** (binary-heap property on
   the heap backend; bucket filing and per-bucket heap property on the
@@ -59,8 +60,8 @@ def sanitize_enabled_in_env() -> bool:
 class ConservationLedger:
     """Per-packet-class counters for the conservation invariant.
 
-    At quiescence every class must satisfy
-    ``sent + switch_out == delivered + lost_or_dropped + switch_in``;
+    At quiescence every class must satisfy ``sent + switch_out ==
+    delivered + lost_or_dropped + switch_in + faulted + unprotected``;
     mid-run the difference (packets in flight) must never go negative —
     a negative balance means a phantom delivery or an unaccounted emission.
     """
@@ -76,6 +77,13 @@ class ConservationLedger:
         #: ``lost_or_dropped`` — so churn runs under ``REPRO_SANITIZE=1``
         #: balance without hiding fault damage inside ordinary loss.
         self.faulted: dict[str, int] = {}
+        #: Packets dropped on a tree that deliberately runs without (full)
+        #: retransmission — ``reliability_policy`` ``"sampled"`` or
+        #: ``"best_effort"``. A separate consumed-side bucket so accepted
+        #: approximation loss is never conflated with ``faulted`` damage or
+        #: ordinary congestion loss; the conservation equation still closes
+        #: at quiescence with it on the consumed side.
+        self.unprotected: dict[str, int] = {}
         #: Packets ECN-marked in flight (CE False->True transitions observed
         #: at the transmit wrapper). Marked packets still flow to a consumer
         #: bucket, so this tally sits *outside* the conservation equation —
@@ -97,6 +105,7 @@ class ConservationLedger:
             self.switch_in,
             self.switch_out,
             self.faulted,
+            self.unprotected,
         ):
             names.update(table)
         return sorted(names)
@@ -109,6 +118,7 @@ class ConservationLedger:
             + self.lost_or_dropped.get(cls, 0)
             + self.switch_in.get(cls, 0)
             + self.faulted.get(cls, 0)
+            + self.unprotected.get(cls, 0)
         )
         return produced - consumed
 
@@ -121,6 +131,7 @@ class ConservationLedger:
             "switch_in": dict(self.switch_in),
             "switch_out": dict(self.switch_out),
             "faulted": dict(self.faulted),
+            "unprotected": dict(self.unprotected),
             "marked": dict(self.marked),
         }
 
@@ -137,13 +148,15 @@ class ConservationLedger:
                     f"delivered={self.delivered.get(cls, 0)}, "
                     f"lost_or_dropped={self.lost_or_dropped.get(cls, 0)}, "
                     f"switch_in={self.switch_in.get(cls, 0)}, "
-                    f"faulted={self.faulted.get(cls, 0)})"
+                    f"faulted={self.faulted.get(cls, 0)}, "
+                    f"unprotected={self.unprotected.get(cls, 0)})"
                 )
             if quiescent and balance != 0:
                 raise SanitizerError(
                     f"conservation violated for {cls}: {balance} packets "
                     "unaccounted for at quiescence (sent + switch_out != "
-                    "delivered + lost_or_dropped + switch_in + faulted)"
+                    "delivered + lost_or_dropped + switch_in + faulted "
+                    "+ unprotected)"
                 )
 
 
@@ -199,7 +212,21 @@ class SimulatorSanitizer:
             if was_unmarked and packet.ecn:
                 bump(ledger.marked, type(packet).__name__)
             if len(scheduler) == before:
-                bump(ledger.lost_or_dropped, type(packet).__name__)
+                # Drops on a tree that *chose* reduced reliability file under
+                # ``unprotected`` — accepted approximation loss, not damage.
+                # The policy registry is shared onto the simulator by
+                # DaietSystem; absent registry (bare simulators) means every
+                # drop is ordinary loss.
+                policies = getattr(sim, "tree_policies", None)
+                tree_id = getattr(packet, "tree_id", None)
+                if (
+                    policies is not None
+                    and tree_id is not None
+                    and policies.get(tree_id, "exact") != "exact"
+                ):
+                    bump(ledger.unprotected, type(packet).__name__)
+                else:
+                    bump(ledger.lost_or_dropped, type(packet).__name__)
 
         sim.send = send
         sim.send_burst = send_burst

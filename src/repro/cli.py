@@ -12,6 +12,7 @@ Usage::
     python -m repro churn [--quick] [--reliability]
                           [--scenario spine-kill|flap|straggler|hotspot|all]
     python -m repro incast [--quick] [--fanin N]
+    python -m repro approx-sweep [--quick] [--loss RATE]
     python -m repro all   [--quick]
     python -m repro lint  [--root PATH]
 
@@ -41,6 +42,7 @@ from repro.experiments.figure1_ml import (
     run_figure1b,
 )
 from repro.experiments.figure3_wordcount import Figure3Settings, run_figure3
+from repro.experiments.figure_approx import ApproxSweepSettings, run_approx_sweep
 from repro.experiments.figure_churn import SCENARIOS, ChurnSettings, run_churn
 from repro.experiments.figure_incast import IncastSettings, run_incast
 from repro.experiments.figure_loss_sweep import LossSweepSettings, run_loss_sweep
@@ -143,6 +145,15 @@ def run_incast_cmd(args: argparse.Namespace) -> str:
     return run_incast(settings).report
 
 
+def run_approx_sweep_cmd(args: argparse.Namespace) -> str:
+    """Approximation sweep: reliability policies vs a-posteriori error bounds."""
+    settings = ApproxSweepSettings().quick() if args.quick else ApproxSweepSettings()
+    loss = getattr(args, "loss", None)
+    if loss is not None:
+        settings = dataclasses.replace(settings, loss_rates=(loss,))
+    return run_approx_sweep(settings).report
+
+
 def run_lint_cmd(args: argparse.Namespace) -> tuple[str, int]:
     """Static checks: determinism lint, fast-path parity, dataplane config."""
     from repro.checks.lint import run_lint
@@ -173,6 +184,7 @@ _COMMANDS: dict[str, Callable[[argparse.Namespace], str]] = {
     "scale": run_scale_cmd,
     "churn": run_churn_cmd,
     "incast": run_incast_cmd,
+    "approx-sweep": run_approx_sweep_cmd,
     "all": run_all,
 }
 
@@ -231,6 +243,14 @@ def build_parser() -> argparse.ArgumentParser:
                 default=None,
                 help="run a single fan-in instead of the default sweep "
                 "(e.g. --fanin 1024)",
+            )
+        if name == "approx-sweep":
+            sub.add_argument(
+                "--loss",
+                type=float,
+                default=None,
+                help="sweep a single loss rate instead of the default set "
+                "(e.g. --loss 0.01)",
             )
         if name == "scale":
             sub.add_argument(

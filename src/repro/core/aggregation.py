@@ -96,6 +96,10 @@ class TreeState:
     #: so the pull must climb the tree until it reaches the buffer that
     #: still holds the lost flush.
     switch_children: tuple[str, ...] = ()
+    #: Reliability policy of this tree (``"exact"`` | ``"sampled"`` |
+    #: ``"best_effort"``): ``sampled`` strides the switch's ACK cadence,
+    #: ``best_effort`` emits plain unsequenced flushes with no buffering.
+    policy: str = "exact"
     key_register: RegisterArray = field(init=False)
     value_register: RegisterArray = field(init=False)
     index_stack: IndexStack = field(init=False)
@@ -119,6 +123,13 @@ class TreeState:
     #: Sequence numbers already retransmitted since the last ACK progress,
     #: so duplicate ACKs do not trigger a retransmission storm.
     _retransmitted: set[int] = field(default_factory=set, repr=False)
+    #: Children whose current gap episode was already announced with an
+    #: immediate SACK (sampled policy only).
+    _gapped: set[str] = field(default_factory=set, repr=False)
+    #: Steady in-order ACK cadence (ack_window, strided under ``sampled``).
+    _ack_every: int = field(default=0, repr=False)
+    #: Whether emissions towards the parent are sequenced and buffered.
+    _reliable_emit: bool = field(default=False, repr=False)
     #: Memo of ``hash_key(key, register_slots)`` — the hash is deterministic
     #: and ``register_slots`` is fixed per tree, so repeated keys (the whole
     #: point of aggregation) skip the encode+CRC32 on every later packet.
@@ -136,6 +147,24 @@ class TreeState:
         self.index_stack = IndexStack(capacity=slots)
         self.spillover = SpilloverBucket(capacity=self.config.effective_spillover_capacity)
         self.remaining_children = self.num_children
+        self._apply_policy()
+
+    def set_policy(self, policy: str) -> None:
+        """Change the tree's reliability policy (per-tree overrides, failover)."""
+        self.policy = policy
+        self._apply_policy()
+
+    def _apply_policy(self) -> None:
+        stride = (
+            getattr(self.config, "sampled_ack_stride", 4)
+            if self.policy == "sampled"
+            else 1
+        )
+        self._ack_every = self.config.ack_window * stride
+        self._reliable_emit = (
+            getattr(self.config, "reliability", False)
+            and self.policy != "best_effort"
+        )
 
     def occupancy(self) -> int:
         """Number of register slots currently holding an aggregated pair."""
@@ -188,20 +217,29 @@ class DaietAggregationEngine:
         config: DaietConfig | None = None,
         child_ports: dict[str, int] | None = None,
         switch_children: tuple[str, ...] = (),
+        policy: str | None = None,
     ) -> TreeState:
-        """Install (or replace) the state for one aggregation tree."""
+        """Install (or replace) the state for one aggregation tree.
+
+        ``policy`` overrides the config's ``reliability_policy`` for this
+        tree (per-tree selective reliability); ``None`` inherits it.
+        """
         if isinstance(function, str):
             function = get_function(function)
+        cfg = config or DaietConfig()
         state = TreeState(
             tree_id=tree_id,
             function=function,
-            config=config or DaietConfig(),
+            config=cfg,
             num_children=num_children,
             egress_port=egress_port,
             next_hop_dst=next_hop_dst,
             switch_name=self.switch_name,
             child_ports=dict(child_ports or {}),
             switch_children=tuple(sorted(switch_children)),
+            policy=policy
+            if policy is not None
+            else getattr(cfg, "reliability_policy", "exact"),
         )
         self._trees[tree_id] = state
         return state
@@ -439,7 +477,17 @@ class DaietAggregationEngine:
             if packet.ecn:
                 state._ecn_since_ack[src] = state._ecn_since_ack.get(src, 0) + 1
             state._since_ack[src] = state._since_ack.get(src, 0) + 1
-            if state._since_ack[src] >= state.config.ack_window:
+            ack_now = state._since_ack[src] >= state._ack_every
+            if not ack_now and state.policy == "sampled":
+                # A fresh hole is still announced immediately (one early
+                # SACK per gap episode) so the sender's gap-fill beats its
+                # retransmission timer despite the strided cadence.
+                if window.has_gaps:
+                    ack_now = src not in state._gapped
+                    state._gapped.add(src)
+                else:
+                    state._gapped.discard(src)
+            if ack_now:
                 emitted.extend(self._ack_child(state, src))
             if window.complete and src not in state._ended_sources:
                 # A retransmitted DATA packet filled the last gap before a
@@ -579,11 +627,12 @@ class DaietAggregationEngine:
                     config=state.config,
                 )
             )
-        if state.config.reliability:
+        if state._reliable_emit:
             # The switch is itself a reliable sender towards its parent: its
             # emissions carry sequence numbers and stay buffered until the
             # parent acknowledges them (retransmission is ACK/pull-driven
-            # because switches have no timers).
+            # because switches have no timers). Best-effort trees skip this
+            # entirely: plain unsequenced flushes, nothing buffered.
             sequenced = []
             for packet in packets:
                 packet = replace(packet, seq=state._next_seq)

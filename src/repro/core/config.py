@@ -118,6 +118,31 @@ class DaietConfig:
         Smallest window the congestion controller may shrink to.
     dctcp_gain:
         EWMA gain ``g`` of the DCTCP mark-fraction estimate.
+    reliability_policy:
+        Per-tree reliability class (SAP-inspired selective reliability):
+        ``"exact"`` keeps the full PR 1 protocol (the default, byte-identical
+        behaviour); ``"sampled"`` keeps sequence numbers, dedup and
+        retransmission but acknowledges only every
+        ``sampled_ack_stride``-th ack window (duplicates, ENDs and freshly
+        detected gaps are still acknowledged immediately) and degrades
+        instead of raising when a sender exhausts its retries;
+        ``"best_effort"`` disables the reliability protocol for the tree
+        entirely — no sequence numbers, no ACKs, no retransmission — so
+        losses surface as a measured, bounded aggregate deficit
+        (see :mod:`repro.analysis.error_bounds`). Non-exact policies
+        require ``reliability=True``: the policy selects *how much* of the
+        reliability machinery a tree uses, and jobs can override it
+        per tree via ``DaietSystem.install_job(policy=...)``.
+    sampled_ack_stride:
+        Under the ``"sampled"`` policy, acknowledge every k-th ack window
+        instead of every one (and stretch the receiver pull timer by the
+        same factor), cutting steady-state ACK traffic to ~1/k.
+    initial_inflight_cap:
+        First-RTT pacing cap on every windowed sender: at most this many
+        packets may be in flight before the first ACK (or first timeout)
+        is observed, after which the configured congestion window governs.
+        Protects shallow switch buffers from the connection-setup burst at
+        high fan-in. ``None`` (default) keeps the historical unpaced burst.
     """
 
     register_slots: int = DEFAULT_REGISTER_SLOTS
@@ -139,6 +164,9 @@ class DaietConfig:
     initial_cwnd: int = 10
     min_cwnd: int = 2
     dctcp_gain: float = 0.0625
+    reliability_policy: str = "exact"
+    sampled_ack_stride: int = 4
+    initial_inflight_cap: int | None = None
 
     def __post_init__(self) -> None:
         if self.register_slots <= 0:
@@ -172,6 +200,23 @@ class DaietConfig:
             raise ConfigurationError("min_cwnd must be positive")
         if not 0.0 < self.dctcp_gain <= 1.0:
             raise ConfigurationError("dctcp_gain must lie in (0, 1]")
+        if self.reliability_policy not in ("exact", "sampled", "best_effort"):
+            raise ConfigurationError(
+                f"unknown reliability_policy {self.reliability_policy!r}; "
+                "expected 'exact', 'sampled' or 'best_effort'"
+            )
+        if self.reliability_policy != "exact" and not self.reliability:
+            raise ConfigurationError(
+                f"reliability_policy {self.reliability_policy!r} requires "
+                "reliability=True (the policy selects how much of the "
+                "reliability machinery a tree uses)"
+            )
+        if self.sampled_ack_stride <= 0:
+            raise ConfigurationError("sampled_ack_stride must be positive")
+        if self.initial_inflight_cap is not None and self.initial_inflight_cap <= 0:
+            raise ConfigurationError(
+                "initial_inflight_cap must be positive when set"
+            )
 
     @property
     def effective_spillover_capacity(self) -> int:

@@ -86,12 +86,17 @@ class DaietController:
         mappers: Iterable[str],
         reducers: Iterable[str],
         function: str | AggregationFunction = "sum",
+        policy: str | None = None,
     ) -> InstalledJob:
         """Build and install one aggregation tree per reducer.
 
         Mappers co-located with a reducer are excluded from that reducer's
         tree (their traffic never enters the network), matching how a local
         partition is exchanged through shared memory in the real deployment.
+
+        ``policy`` overrides the config's ``reliability_policy`` for every
+        tree of this job (per-class selective reliability); ``None``
+        inherits the config's policy.
         """
         function_obj = function if isinstance(function, AggregationFunction) else get_function(function)
         allocation = JobAllocation(
@@ -113,12 +118,17 @@ class DaietController:
                 mappers=tree_mappers,
             )
             self._next_tree_id += 1
-            job.rules_installed += self._install_tree(tree, function_obj)
+            job.rules_installed += self._install_tree(tree, function_obj, policy=policy)
             job.trees[reducer] = tree
         self.jobs.append(job)
         return job
 
-    def _install_tree(self, tree: AggregationTree, function: AggregationFunction) -> int:
+    def _install_tree(
+        self,
+        tree: AggregationTree,
+        function: AggregationFunction,
+        policy: str | None = None,
+    ) -> int:
         rules = 0
         for node in tree.switches():
             device = self.topology.get(node.name)
@@ -150,6 +160,7 @@ class DaietController:
                     for child in children
                     if isinstance(self.topology.get(child), SwitchDevice)
                 ),
+                policy=policy,
             )
             device.switch.ledger.allocate_sram(
                 owner=f"tree{tree.tree_id}", nbytes=state.config.sram_bytes()
@@ -211,6 +222,7 @@ class DaietController:
         job: InstalledJob,
         reducer: str,
         exclude: Iterable[str] = (),
+        policy: str | None = None,
     ) -> AggregationTree:
         """Re-plan one reducer's tree around the devices in ``exclude``.
 
@@ -236,7 +248,7 @@ class DaietController:
         )
         self._next_tree_id += 1
         function_obj = get_function(job.allocation.function_name)
-        job.rules_installed += self._install_tree(tree, function_obj)
+        job.rules_installed += self._install_tree(tree, function_obj, policy=policy)
         job.trees[reducer] = tree
         return tree
 

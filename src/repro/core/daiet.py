@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Any, Iterable
 from repro.core.aggregation import DaietAggregationEngine
 from repro.core.config import DaietConfig
 from repro.core.controller import DaietController, InstalledJob
-from repro.core.errors import ControllerError
+from repro.core.errors import ConfigurationError, ControllerError
 from repro.core.functions import AggregationFunction, get as get_function
 from repro.core.packet import DaietPacket, DaietPacketType, packetize_pairs
 from repro.core.tree import AggregationTree
@@ -126,6 +126,16 @@ class DaietSystem:
         self._receivers: dict[str, DaietReceiver] = {}
         self._jobs: list[InstalledJob] = []
         self._agents: dict[str, "HostReliabilityAgent"] = {}
+        # Per-tree reliability policy registry. Shared by *reference* with
+        # the simulator so observers that only see the simulator (the
+        # sanitizer's drop classifier, the error-bound tracker) can map a
+        # dropped packet's tree id back to its policy. Old epochs are kept
+        # after failover so stray old-epoch drops still classify correctly.
+        self._tree_policies: dict[int, str] = {}
+        self.simulator.tree_policies = self._tree_policies
+        #: Optional :class:`~repro.analysis.error_bounds.ErrorBoundTracker`;
+        #: when set, ``send_pairs`` reports injected mass to it.
+        self.error_tracker: Any = None
 
     @classmethod
     def single_rack(
@@ -171,11 +181,30 @@ class DaietSystem:
         mappers: Iterable[str],
         reducers: Iterable[str],
         function: str | AggregationFunction = "sum",
+        policy: str | None = None,
     ) -> InstalledJob:
-        """Install aggregation trees and attach receivers on every reducer."""
+        """Install aggregation trees and attach receivers on every reducer.
+
+        ``policy`` selects the reliability policy for every tree of this
+        job (``"exact"``, ``"sampled"`` or ``"best_effort"``); ``None``
+        inherits ``config.reliability_policy``. Non-exact policies require
+        the reliability layer to be enabled.
+        """
+        if policy is None:
+            policy = getattr(self.config, "reliability_policy", "exact")
+        if policy not in ("exact", "sampled", "best_effort"):
+            raise ConfigurationError(
+                f"unknown reliability policy {policy!r}; "
+                "expected 'exact', 'sampled' or 'best_effort'"
+            )
+        if policy != "exact" and not self.config.reliability:
+            raise ConfigurationError(
+                f"reliability policy {policy!r} requires reliability=True"
+            )
         function_obj = function if isinstance(function, AggregationFunction) else get_function(function)
-        job = self.controller.install_job(mappers, reducers, function_obj)
+        job = self.controller.install_job(mappers, reducers, function_obj, policy=policy)
         for reducer, tree in job.trees.items():
+            self._tree_policies[tree.tree_id] = policy
             receiver = DaietReceiver(
                 host=reducer,
                 tree_id=tree.tree_id,
@@ -186,16 +215,28 @@ class DaietSystem:
             if self.config.reliability:
                 # The reliability agent owns the host NIC: it dedups sequenced
                 # packets, acknowledges the tree's children and hands clean
-                # packets to the application receiver.
+                # packets to the application receiver. Best-effort trees ride
+                # the same dispatch but their packets carry no sequence
+                # numbers, so they pass straight through — no dedup, no ACKs,
+                # and the pull timer is never armed.
                 self._agent(reducer).attach_tree(
                     tree.tree_id,
                     children=tree.node(reducer).children,
                     inner=receiver.receive,
+                    policy=policy,
                 )
             else:
                 self.simulator.host(reducer).set_receiver(receiver.receive)
         self._jobs.append(job)
         return job
+
+    def tree_policy(self, tree_id: int) -> str:
+        """The reliability policy a tree was installed under."""
+        return self._tree_policies.get(tree_id, "exact")
+
+    def register_tree_policy(self, tree_id: int, policy: str) -> None:
+        """Record a (re-planned) tree's policy; old epochs are retained."""
+        self._tree_policies[tree_id] = policy
 
     def receiver(self, reducer: str) -> DaietReceiver:
         """The receiver attached to a reducer host."""
@@ -234,8 +275,14 @@ class DaietSystem:
             raise ControllerError(
                 f"host {mapper!r} is not a mapper of the tree rooted at {reducer!r}"
             )
-        if self.config.reliability:
-            channel = self._agent(mapper).sender(tree.tree_id)
+        pairs = list(pairs)
+        if self.error_tracker is not None:
+            # Original application sends only — retransmissions re-inject the
+            # same pairs and must not inflate the injected-mass ledger.
+            self.error_tracker.record_injected(tree.tree_id, pairs)
+        policy = self.tree_policy(tree.tree_id)
+        if self.config.reliability and policy != "best_effort":
+            channel = self._agent(mapper).sender(tree.tree_id, policy=policy)
             packets = [
                 replace(packet, seq=channel.take_seq())
                 for packet in packetize_pairs(
@@ -251,6 +298,9 @@ class DaietSystem:
             # The reducer starts pulling so even a fully-lost flush recovers.
             self._agent(reducer).arm(tree.tree_id)
             return count
+        # Unreliable path — either the reliability layer is off, or the tree
+        # runs best-effort: unsequenced packets, no retransmit buffer, no
+        # ACK/pull machinery, guaranteed termination.
         return self.simulator.send_burst(
             mapper,
             packetize_pairs(

@@ -126,11 +126,15 @@ class FailoverManager:
         """Recover every tree traversing ``switch`` and reroute around it."""
         now = self.system.simulator.now
         self.log.append((now, f"detected crash of {switch}"))
-        self._reinstall_routes(exclude=self.injector.down_switch_names())
+        down = self.injector.down_switch_names()
+        self._reinstall_routes(exclude=down)
         for job in list(self.system.controller.jobs):
             for reducer in sorted(job.trees):
                 if switch in job.trees[reducer].nodes:
-                    self.move_tree(job, reducer, exclude={switch})
+                    # Exclude *every* currently-down switch, not just the one
+                    # that triggered this recovery: under overlapping crashes
+                    # the replacement tree must avoid them all.
+                    self.move_tree(job, reducer, exclude=down)
 
     def _handle_switch_restart(self, switch: str) -> None:
         """Repopulate a restarted (blank) switch's forwarding table."""
@@ -177,14 +181,23 @@ class FailoverManager:
         now = system.simulator.now
         old_tree = job.tree_for_reducer(reducer)
         old_id = old_tree.tree_id
+        policy = system.tree_policy(old_id)
         excluded = sorted(set(exclude))
         try:
-            tree = system.controller.replan_tree(job, reducer, exclude=excluded)
+            tree = system.controller.replan_tree(
+                job, reducer, exclude=excluded, policy=policy
+            )
         except RoutingError as exc:
             self.log.append(
                 (now, f"tree {old_id} ({reducer}): replan failed, degraded: {exc}")
             )
             return None
+        system.register_tree_policy(tree.tree_id, policy)
+        tracker = getattr(system, "error_tracker", None)
+        if tracker is not None:
+            # The logical aggregate spans the whole epoch lineage: carry the
+            # dead epoch's loss ledger over to the replacement tree id.
+            tracker.merge_epoch(old_id, tree.tree_id)
         self.log.append(
             (
                 now,
@@ -207,7 +220,20 @@ class FailoverManager:
                 tree.tree_id,
                 children=tree.node(reducer).children,
                 inner=receiver.receive,
+                policy=policy,
             )
+        if policy == "best_effort":
+            # A best-effort tree chose to tolerate loss: recovery re-plans
+            # the topology but never replays — no replay storms, the run
+            # terminates with its deficit reported by the error ledger.
+            self.log.append(
+                (
+                    now,
+                    f"tree {tree.tree_id} ({reducer}): no replay "
+                    "(policy best_effort), deficit reported",
+                )
+            )
+            return tree
         if not (config.reliability and config.retain_for_replay):
             self.log.append(
                 (
@@ -228,7 +254,7 @@ class FailoverManager:
             history = old_channel.sent_packets() if old_channel is not None else []
             if not history:
                 continue
-            channel = mapper_agent.sender(tree.tree_id)
+            channel = mapper_agent.sender(tree.tree_id, policy=policy)
             channel.send(
                 [
                     replace(packet, tree_id=tree.tree_id, seq=channel.take_seq())

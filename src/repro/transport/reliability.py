@@ -71,6 +71,10 @@ class ReliabilityStats:
     #: ECN marks echoed back by receivers on this host's streams (sender
     #: side) — the congestion signal a DCTCP-style controller reacts to.
     ecn_marks_echoed: int = 0
+    #: Packets a degraded (non-exact policy) sender stopped retransmitting
+    #: after exhausting its retries: the stream terminates with a measured
+    #: deficit instead of raising (see ``reliability_policy``).
+    abandoned_packets: int = 0
 
     def snapshot(self) -> dict[str, int]:
         """The counters as a plain dictionary."""
@@ -102,12 +106,18 @@ class ReliableSenderChannel:
         stats: ReliabilityStats,
         retain_for_replay: bool = False,
         tuning: TransportTuning | None = None,
+        policy: str = "exact",
     ) -> None:
         if retransmit_timeout <= 0:
             raise TransportError("retransmit_timeout must be positive")
         self.simulator = simulator
         self.host = host
         self.tree_id = tree_id
+        #: Reliability policy of the tree this channel feeds. Non-exact
+        #: policies degrade on give-up (drop the outstanding packets and
+        #: count them) instead of raising: an approximate tree must never
+        #: abort the run over loss it has chosen to tolerate.
+        self.policy = policy
         self.tuning = tuning = tuning if tuning is not None else TransportTuning()
         # In fixed-RTO mode the floor simply raises the base timeout (this is
         # how the baseline comparison's historical 2 ms constant is spelled);
@@ -133,6 +143,7 @@ class ReliableSenderChannel:
             clock=lambda: simulator.now,
             rtt=make_rtt_estimator(tuning, base),
             congestion=make_congestion_controller(tuning),
+            initial_inflight_cap=tuning.initial_inflight_cap,
             retain_history=retain_for_replay,
         )
 
@@ -207,6 +218,12 @@ class ReliableSenderChannel:
         self.stats.timeouts += 1
 
     def _give_up(self, outstanding: int) -> None:
+        if self.policy != "exact":
+            # Degraded mode: stop retransmitting, count the abandoned
+            # packets and let the aggregate close with a reported deficit.
+            self.stats.abandoned_packets += outstanding
+            self._engine.close()
+            return
         raise TransportError(
             f"host {self.host!r} gave up on tree {self.tree_id} after "
             f"{self.max_retransmits} consecutive retransmission timeouts "
@@ -237,6 +254,10 @@ class _TreeReceiveState:
     tree_id: int
     children: tuple[str, ...]
     inner: Callable[[Any], None]
+    #: Reliability policy of this tree (``"exact"`` | ``"sampled"`` |
+    #: ``"best_effort"``); ``"sampled"`` strides the steady ACK cadence
+    #: and the pull timer (see ``sampled_ack_stride``).
+    policy: str = "exact"
     windows: dict[str, SeenWindow] = field(default_factory=dict)
     since_ack: dict[str, int] = field(default_factory=dict)
     #: Fresh packets per child that arrived ECN-marked since the last ACK;
@@ -244,6 +265,10 @@ class _TreeReceiveState:
     ecn_since_ack: dict[str, int] = field(default_factory=dict)
     ended: set[str] = field(default_factory=set)
     pending_end: dict[str, DaietPacket] = field(default_factory=dict)
+    #: Children whose current gap episode has already been announced with
+    #: an immediate SACK (sampled policy): one early ACK per fresh hole,
+    #: the rest of the repair rides the strided cadence and pulls.
+    gapped: set[str] = field(default_factory=set)
     pull_timer: Any = None
     pulls_without_progress: int = 0
 
@@ -273,13 +298,17 @@ class HostReliabilityAgent:
         max_retransmits: int,
         retain_for_replay: bool = False,
         tuning: TransportTuning | None = None,
+        sampled_ack_stride: int = 4,
     ) -> None:
         if ack_window <= 0:
             raise TransportError("ack_window must be positive")
+        if sampled_ack_stride <= 0:
+            raise TransportError("sampled_ack_stride must be positive")
         self.simulator = simulator
         self.host = host
         self.retransmit_timeout = retransmit_timeout
         self.ack_window = ack_window
+        self.sampled_ack_stride = sampled_ack_stride
         self.max_retransmits = max_retransmits
         self.retain_for_replay = retain_for_replay
         self.tuning = tuning if tuning is not None else TransportTuning()
@@ -305,13 +334,19 @@ class HostReliabilityAgent:
             max_retransmits=config.max_retransmits,
             retain_for_replay=getattr(config, "retain_for_replay", False),
             tuning=tuning_from_config(config),
+            sampled_ack_stride=getattr(config, "sampled_ack_stride", 4),
         )
 
     # ------------------------------------------------------------------ #
     # Wiring
     # ------------------------------------------------------------------ #
-    def sender(self, tree_id: int) -> ReliableSenderChannel:
-        """The (created-on-demand) sender channel for one tree."""
+    def sender(self, tree_id: int, policy: str = "exact") -> ReliableSenderChannel:
+        """The (created-on-demand) sender channel for one tree.
+
+        ``policy`` is the tree's reliability policy; it only matters on the
+        call that creates the channel (non-exact policies degrade instead
+        of raising when the sender exhausts its retries).
+        """
         if tree_id not in self._senders:
             self._senders[tree_id] = ReliableSenderChannel(
                 self.simulator,
@@ -322,6 +357,7 @@ class HostReliabilityAgent:
                 stats=self.stats,
                 retain_for_replay=self.retain_for_replay,
                 tuning=self.tuning,
+                policy=policy,
             )
         return self._senders[tree_id]
 
@@ -330,12 +366,14 @@ class HostReliabilityAgent:
         tree_id: int,
         children: Iterable[str],
         inner: Callable[[Any], None],
+        policy: str = "exact",
     ) -> None:
         """Install the application receiver for one tree rooted at this host."""
         state = _TreeReceiveState(
             tree_id=tree_id,
             children=tuple(children),
             inner=inner,
+            policy=policy,
         )
         state.pull_timer = self.simulator.timer(lambda: self._on_pull(tree_id))
         self._recv[tree_id] = state
@@ -376,7 +414,7 @@ class HostReliabilityAgent:
         state = self._recv.get(tree_id)
         if state is None or state.done or state.pull_timer.active:
             return
-        state.pull_timer.start(self._pull_interval())
+        state.pull_timer.start(self._pull_interval(state))
 
     def sender_channels(self) -> dict[int, ReliableSenderChannel]:
         """The sender channels keyed by tree id (diagnostics)."""
@@ -414,6 +452,17 @@ class HostReliabilityAgent:
         state.pulls_without_progress = 0
         if packet.ecn:
             state.ecn_since_ack[src] = state.ecn_since_ack.get(src, 0) + 1
+        fresh_gap = False
+        if state.policy == "sampled":
+            # Sampled cadence still announces a *fresh* hole immediately —
+            # one early SACK per gap episode keeps the sender's gap-fill
+            # ahead of its retransmission timer without re-ACKing every
+            # out-of-order packet of the episode.
+            if window.has_gaps:
+                fresh_gap = src not in state.gapped
+                state.gapped.add(src)
+            else:
+                state.gapped.discard(src)
         if packet.packet_type is DaietPacketType.END:
             window.end_seq = packet.seq
             state.pending_end[src] = packet
@@ -430,7 +479,8 @@ class HostReliabilityAgent:
             self._send_ack(state, src)
         elif (
             packet.packet_type is DaietPacketType.END
-            or state.since_ack.get(src, 0) >= self.ack_window
+            or fresh_gap
+            or state.since_ack.get(src, 0) >= self._ack_window_for(state)
         ):
             self._send_ack(state, src)
         if state.done:
@@ -438,13 +488,22 @@ class HostReliabilityAgent:
         elif not state.pull_timer.active:
             # Traffic is flowing: keep a pull pending so a lost tail (or a
             # lost switch flush) is eventually re-requested.
-            state.pull_timer.start(self._pull_interval())
+            state.pull_timer.start(self._pull_interval(state))
 
     # ------------------------------------------------------------------ #
     # ACK/pull generation
     # ------------------------------------------------------------------ #
-    def _pull_interval(self) -> float:
-        return 2 * self.retransmit_timeout
+    def _ack_window_for(self, state: _TreeReceiveState) -> int:
+        """Steady in-order ACK cadence for one tree (strided when sampled)."""
+        if state.policy == "sampled":
+            return self.ack_window * self.sampled_ack_stride
+        return self.ack_window
+
+    def _pull_interval(self, state: _TreeReceiveState | None = None) -> float:
+        interval = 2 * self.retransmit_timeout
+        if state is not None and state.policy == "sampled":
+            interval *= self.sampled_ack_stride
+        return interval
 
     def _send_ack(self, state: _TreeReceiveState, src: str, pull: bool = False) -> None:
         window = state.windows.setdefault(src, SeenWindow())
@@ -479,4 +538,4 @@ class HostReliabilityAgent:
         for child in state.children:
             if child not in state.ended:
                 self._send_ack(state, child, pull=True)
-        state.pull_timer.start(self._pull_interval())
+        state.pull_timer.start(self._pull_interval(state))

@@ -368,6 +368,7 @@ class ReliableUdpTransport(UdpTransport):
             clock=lambda: self.simulator.now,
             rtt=make_rtt_estimator(tuning, base),
             congestion=make_congestion_controller(tuning),
+            initial_inflight_cap=tuning.initial_inflight_cap,
         )
 
     def _flow_transmit(

@@ -77,6 +77,12 @@ class TransportTuning:
         Smallest window the controller may shrink to.
     dctcp_gain:
         EWMA gain ``g`` of the DCTCP mark-fraction estimate.
+    initial_inflight_cap:
+        First-RTT pacing: at most this many packets may be in flight before
+        the sender has seen its first ACK progress, whatever the congestion
+        window says. Once the first acknowledgement arrives the cap lifts
+        and the configured window (or the unlimited historical window)
+        takes over. ``None`` disables the cap — the historical behaviour.
     """
 
     adaptive_rto: bool = False
@@ -86,6 +92,7 @@ class TransportTuning:
     initial_cwnd: int = 10
     min_cwnd: int = 2
     dctcp_gain: float = 0.0625
+    initial_inflight_cap: int | None = None
 
     def __post_init__(self) -> None:
         if self.congestion_control not in CONGESTION_CONTROLLERS:
@@ -103,11 +110,17 @@ class TransportTuning:
             raise TransportError("min_cwnd must be positive")
         if not 0.0 < self.dctcp_gain <= 1.0:
             raise TransportError("dctcp_gain must lie in (0, 1]")
+        if self.initial_inflight_cap is not None and self.initial_inflight_cap <= 0:
+            raise TransportError("initial_inflight_cap must be positive when set")
 
     @property
     def is_default(self) -> bool:
         """True when the tuning changes nothing over the historical transport."""
-        return not self.adaptive_rto and self.congestion_control == "none"
+        return (
+            not self.adaptive_rto
+            and self.congestion_control == "none"
+            and self.initial_inflight_cap is None
+        )
 
 
 # ---------------------------------------------------------------------- #
@@ -313,6 +326,7 @@ def tuning_from_config(config: Any) -> TransportTuning:
         initial_cwnd=getattr(config, "initial_cwnd", 10),
         min_cwnd=getattr(config, "min_cwnd", 2),
         dctcp_gain=getattr(config, "dctcp_gain", 0.0625),
+        initial_inflight_cap=getattr(config, "initial_inflight_cap", None),
     )
 
 
@@ -369,6 +383,7 @@ class WindowedSender:
         "_sent_at",
         "_consecutive_timeouts",
         "_timer",
+        "_initial_cap",
         "retain_history",
     )
 
@@ -384,6 +399,7 @@ class WindowedSender:
         clock: Callable[[], float] | None = None,
         rtt: RttEstimator | None = None,
         congestion: CongestionController | None = None,
+        initial_inflight_cap: int | None = None,
         retain_history: bool = False,
     ) -> None:
         if base_timeout <= 0:
@@ -411,6 +427,10 @@ class WindowedSender:
         self._sent_at: dict[int, float] = {}
         self._consecutive_timeouts = 0
         self._timer = timer_factory(self._on_timeout)
+        if initial_inflight_cap is not None and initial_inflight_cap <= 0:
+            raise TransportError("initial_inflight_cap must be positive when set")
+        #: First-RTT pacing cap; set to ``None`` (lifted) on first ACK progress.
+        self._initial_cap = initial_inflight_cap
         self.retain_history = retain_history
 
     # ------------------------------------------------------------------ #
@@ -472,10 +492,14 @@ class WindowedSender:
                 for seq, packet in window:
                     self._history[seq] = packet
             cc = self._cc
-            if cc is None:
+            cap = self._initial_cap
+            if cc is None and cap is None:
                 allowance = len(window)
             else:
-                allowance = max(0, cc.window() - len(self._unacked))
+                limit = cc.window() if cc is not None else len(window) + len(self._unacked)
+                if cap is not None and cap < limit:
+                    limit = cap
+                allowance = max(0, limit - len(self._unacked))
             now_batch = window[:allowance]
             for seq, packet in window[allowance:]:
                 self._pending.append((seq, packet))
@@ -500,9 +524,16 @@ class WindowedSender:
     def _release_pending(self) -> None:
         """Inject queued packets as acknowledgements open the window."""
         cc = self._cc
-        if cc is None or not self._pending:
+        cap = self._initial_cap
+        if not self._pending:
             return
-        allowance = cc.window() - len(self._unacked)
+        if cc is None and cap is None:
+            allowance = len(self._pending)
+        else:
+            limit = cc.window() if cc is not None else len(self._pending) + len(self._unacked)
+            if cap is not None and cap < limit:
+                limit = cap
+            allowance = limit - len(self._unacked)
         if allowance <= 0:
             return
         pending = self._pending
@@ -543,6 +574,9 @@ class WindowedSender:
             for seq in acked:
                 del unacked[seq]
             self._consecutive_timeouts = 0
+            # The first-RTT pacing cap lifts on first ACK progress: the
+            # path's feedback loop is now live and the window takes over.
+            self._initial_cap = None
             # Progress: allow another retransmission round if later ACKs
             # still report holes.
             self._retransmitted.clear()

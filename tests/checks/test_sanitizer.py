@@ -16,7 +16,7 @@ from repro.core.daiet import DaietSystem
 from repro.core.errors import SanitizerError
 from repro.core.packet import DaietPacket
 from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
-from repro.netsim.topology import single_rack
+from repro.netsim.topology import Topology, single_rack
 
 
 def build_system(sanitize: bool | None, **config_kwargs) -> DaietSystem:
@@ -100,6 +100,58 @@ class TestConservationLedger:
         system = build_system(sanitize=True)
         run_job(system)
         system.simulator.sanitizer.check()  # must not raise
+
+
+def build_lossy_system(policy: str, loss_rate: float = 0.05) -> DaietSystem:
+    topo = Topology(name="lossy_rack")
+    topo.add_switch("tor")
+    for i in range(4):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", "tor", loss_rate=loss_rate)
+    topo.validate()
+    config = DaietConfig(
+        register_slots=64,
+        pairs_per_packet=4,
+        reliability=True,
+        retransmit_timeout=1e-4,
+        reliability_policy=policy,
+    )
+    system = DaietSystem(
+        topo, config, SimulatorConfig(sanitize=True, loss_seed=17)
+    )
+    system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"], policy=policy)
+    return system
+
+
+class TestUnprotectedBucket:
+    def test_best_effort_drops_land_in_unprotected(self):
+        system = build_lossy_system("best_effort")
+        run_job(system)
+        ledger = system.simulator.sanitizer.ledger
+        snap = ledger.snapshot()
+        # Deliberate (policy-accepted) loss is counted apart from ordinary
+        # congestion loss and from fault damage.
+        assert sum(snap["unprotected"].values()) > 0
+        assert snap["faulted"] == {}
+        # ...and the conservation equation still closes at quiescence.
+        system.simulator.sanitizer.check()
+        assert all(ledger.in_flight(cls) == 0 for cls in ledger.classes())
+
+    def test_exact_drops_stay_in_lost_or_dropped(self):
+        system = build_lossy_system("exact")
+        run_job(system)
+        ledger = system.simulator.sanitizer.ledger
+        snap = ledger.snapshot()
+        assert snap["unprotected"] == {}
+        assert sum(snap["lost_or_dropped"].values()) > 0
+        system.simulator.sanitizer.check()
+
+    def test_sampled_drops_land_in_unprotected(self):
+        system = build_lossy_system("sampled")
+        run_job(system)
+        snap = system.simulator.sanitizer.ledger.snapshot()
+        assert sum(snap["unprotected"].values()) > 0
+        system.simulator.sanitizer.check()
 
 
 class TestSchedulerChecks:

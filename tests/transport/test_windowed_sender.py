@@ -54,7 +54,8 @@ class Harness:
     """Owner-side environment for a WindowedSender under test."""
 
     def __init__(self, *, tuning: TransportTuning | None = None,
-                 base_timeout: float = 1e-3, max_retransmits: int = 5):
+                 base_timeout: float = 1e-3, max_retransmits: int = 5,
+                 initial_inflight_cap: int | None = None):
         tuning = tuning or TransportTuning()
         self.now = 0.0
         self.timer: FakeTimer | None = None
@@ -83,6 +84,9 @@ class Harness:
             clock=lambda: self.now,
             rtt=make_rtt_estimator(tuning, base_timeout),
             congestion=make_congestion_controller(tuning),
+            initial_inflight_cap=initial_inflight_cap
+            if initial_inflight_cap is not None
+            else tuning.initial_inflight_cap,
         )
 
     def _count_timeout(self):
@@ -357,6 +361,58 @@ class TestWindowedSenderPacing:
             guard += 1
             assert guard < 100
         assert sorted(h.wire()) == sorted(range(20))
+
+
+class TestInitialInflightCap:
+    def test_first_burst_is_capped(self):
+        h = Harness(tuning=TransportTuning(initial_inflight_cap=3))
+        h.send_seqs(*range(10))
+        assert h.wire() == [0, 1, 2]
+        assert h.sender.in_flight == 3
+        assert h.sender.outstanding == 10
+
+    def test_cap_lifts_on_first_ack_progress(self):
+        h = Harness(tuning=TransportTuning(initial_inflight_cap=2))
+        h.send_seqs(*range(8))
+        assert h.wire() == [0, 1]
+        h.sender.on_ack(2, set())
+        # Feedback loop is live: the full backlog drains in one release.
+        assert sorted(h.wire()) == sorted(range(8))
+        assert h.sender._initial_cap is None
+
+    def test_cap_survives_timeout_without_progress(self):
+        h = Harness(tuning=TransportTuning(initial_inflight_cap=2))
+        h.send_seqs(*range(6))
+        h.timer.fire()  # go-back-N retransmit, still no ACK progress
+        assert h.sender._initial_cap == 2
+        assert h.sender.in_flight == 2
+
+    def test_cap_composes_with_congestion_window(self):
+        tuning = TransportTuning(
+            congestion_control="aimd", initial_cwnd=8, initial_inflight_cap=3
+        )
+        h = Harness(tuning=tuning)
+        h.send_seqs(*range(10))
+        # min(cwnd=8, cap=3) governs the first burst.
+        assert h.wire() == [0, 1, 2]
+        h.sender.on_ack(3, set())
+        # Cap lifted; cwnd alone (grown by slow start) paces from here on.
+        assert h.sender.in_flight <= h.sender._cc.window()
+
+    def test_uncapped_default_sends_everything_at_once(self):
+        h = Harness()
+        h.send_seqs(*range(10))
+        assert h.wire() == list(range(10))
+
+    def test_tuning_with_cap_is_not_default(self):
+        assert TransportTuning().is_default
+        assert not TransportTuning(initial_inflight_cap=4).is_default
+
+    def test_cap_must_be_positive(self):
+        with pytest.raises(TransportError, match="initial_inflight_cap"):
+            TransportTuning(initial_inflight_cap=0)
+        with pytest.raises(TransportError, match="initial_inflight_cap"):
+            Harness(initial_inflight_cap=-1)
 
 
 # ---------------------------------------------------------------------- #
