@@ -41,8 +41,18 @@ class MacroBenchResult:
     wall_seconds: float
     events_per_sec: float
     packets_per_sec: float
-    peak_rss_bytes: int
+    #: Resident-set size sampled immediately before / after the bench ran.
+    #: Per-bench samples keep every BENCH entry independently meaningful —
+    #: a process-wide peak would let earlier benches in the same pytest
+    #: process inflate every later entry to one shared high-water mark.
+    rss_before_bytes: int
+    rss_after_bytes: int
     exact: bool
+
+    @property
+    def rss_delta_bytes(self) -> int:
+        """Memory this bench grew the process by (its own footprint)."""
+        return self.rss_after_bytes - self.rss_before_bytes
 
 
 def wordcount_partitions(
@@ -72,6 +82,7 @@ def run_wordcount_macro(
     and packet injection happen outside the timed region, so the number is a
     clean events/sec figure for the discrete-event hot path.
     """
+    rss_before = current_rss_bytes()
     partitions = wordcount_partitions(num_mappers, pairs_per_mapper, vocabulary, seed)
     truth = aggregate_pairs(
         [pair for partition in partitions for pair in partition], SUM
@@ -106,7 +117,8 @@ def run_wordcount_macro(
         wall_seconds=wall,
         events_per_sec=events / wall if wall > 0 else 0.0,
         packets_per_sec=packets / wall if wall > 0 else 0.0,
-        peak_rss_bytes=peak_rss_bytes(),
+        rss_before_bytes=rss_before,
+        rss_after_bytes=current_rss_bytes(),
         exact=exact,
     )
 
@@ -114,12 +126,27 @@ def run_wordcount_macro(
 def peak_rss_bytes() -> int:
     """Peak resident-set size of this process, in bytes.
 
-    The single sampling point for every bench entry, so no harness path can
-    forget the KiB-vs-bytes platform difference (``ru_maxrss`` is KiB on
-    Linux, bytes on macOS) and record a bogus zero.
+    The process-wide high-water mark — only meaningful as a whole-process
+    number (``ru_maxrss`` is KiB on Linux, bytes on macOS). Bench entries
+    record :func:`current_rss_bytes` before/after samples instead.
     """
     peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
     return peak * 1024 if sys.platform != "darwin" else peak
+
+
+def current_rss_bytes() -> int:
+    """Resident-set size right now, in bytes.
+
+    Unlike :func:`peak_rss_bytes` this can go down again, so sampling it
+    immediately before and after one bench yields that bench's own
+    footprint even when an earlier bench in the same process peaked higher.
+    Falls back to the high-water mark where ``/proc`` is unavailable.
+    """
+    try:
+        with open("/proc/self/statm") as statm:
+            return int(statm.read().split()[1]) * resource.getpagesize()
+    except (OSError, ValueError, IndexError):
+        return peak_rss_bytes()
 
 
 def record_bench(name: str, result: MacroBenchResult, **extra: float) -> None:
@@ -136,7 +163,9 @@ def record_bench(name: str, result: MacroBenchResult, **extra: float) -> None:
         "wall_seconds": round(result.wall_seconds, 4),
         "events_per_sec": round(result.events_per_sec, 1),
         "packets_per_sec": round(result.packets_per_sec, 1),
-        "peak_rss_bytes": result.peak_rss_bytes,
+        "rss_before_bytes": result.rss_before_bytes,
+        "rss_after_bytes": result.rss_after_bytes,
+        "rss_delta_bytes": result.rss_delta_bytes,
         "exact": result.exact,
         **{key: round(value, 2) for key, value in extra.items()},
     }

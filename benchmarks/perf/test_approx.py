@@ -18,7 +18,7 @@ import time
 
 import pytest
 
-from bench_common import BENCH_JSON, MacroBenchResult, peak_rss_bytes, record_bench
+from bench_common import BENCH_JSON, MacroBenchResult, current_rss_bytes, record_bench
 
 from repro.experiments.figure_approx import ApproxSweepSettings, run_approx_sweep
 
@@ -36,19 +36,22 @@ class TestApproxThroughput:
         settings = ApproxSweepSettings()
         best: MacroBenchResult | None = None
         for _ in range(3):
+            rss_before = current_rss_bytes()
             start = time.perf_counter()
             result = run_approx_sweep(settings)
             wall = time.perf_counter() - start
             assert result.gate_holds, "degraded arms failed the byte gate"
             assert result.all_bounds_contain, "an error bound undershot"
             events = sum(run.events for run in result.runs)
+            packets = sum(run.link_packets for run in result.runs)
             measured = MacroBenchResult(
                 events=events,
-                packets=0,
+                packets=packets,
                 wall_seconds=wall,
                 events_per_sec=events / wall if wall > 0 else 0.0,
-                packets_per_sec=0.0,
-                peak_rss_bytes=peak_rss_bytes(),
+                packets_per_sec=packets / wall if wall > 0 else 0.0,
+                rss_before_bytes=rss_before,
+                rss_after_bytes=current_rss_bytes(),
                 exact=result.all_bounds_contain,
             )
             if best is None or measured.events_per_sec > best.events_per_sec:

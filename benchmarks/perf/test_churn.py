@@ -17,7 +17,7 @@ import time
 
 import pytest
 
-from bench_common import BENCH_JSON, MacroBenchResult, peak_rss_bytes, record_bench
+from bench_common import BENCH_JSON, MacroBenchResult, current_rss_bytes, record_bench
 
 from repro.experiments.figure_churn import ChurnSettings, run_churn
 
@@ -35,19 +35,22 @@ class TestChurnThroughput:
         settings = dataclasses.replace(ChurnSettings(), reliability=True)
         best: MacroBenchResult | None = None
         for _ in range(3):
+            rss_before = current_rss_bytes()
             start = time.perf_counter()
             result = run_churn(settings, ("spine-kill",))
             wall = time.perf_counter() - start
             assert result.recovery_exact, "spine-kill recovery diverged"
             scenario = result.results["spine-kill"]
             events = scenario.events
+            packets = scenario.link_packets
             measured = MacroBenchResult(
                 events=events,
-                packets=0,
+                packets=packets,
                 wall_seconds=wall,
                 events_per_sec=events / wall if wall > 0 else 0.0,
-                packets_per_sec=0.0,
-                peak_rss_bytes=peak_rss_bytes(),
+                packets_per_sec=packets / wall if wall > 0 else 0.0,
+                rss_before_bytes=rss_before,
+                rss_after_bytes=current_rss_bytes(),
                 exact=result.recovery_exact,
             )
             if best is None or measured.events_per_sec > best.events_per_sec:

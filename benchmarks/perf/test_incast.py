@@ -20,7 +20,7 @@ import time
 
 import pytest
 
-from bench_common import BENCH_JSON, MacroBenchResult, peak_rss_bytes, record_bench
+from bench_common import BENCH_JSON, MacroBenchResult, current_rss_bytes, record_bench
 
 from repro.experiments.figure_incast import IncastSettings, _run_arm
 
@@ -37,6 +37,7 @@ class TestIncastThroughput:
         settings = dataclasses.replace(IncastSettings(), fanins=(256,))
         best: MacroBenchResult | None = None
         for _ in range(3):
+            rss_before = current_rss_bytes()
             start = time.perf_counter()
             run = _run_arm(settings, "udp-aimd", 256, settings.switch_buffer_bytes)
             wall = time.perf_counter() - start
@@ -51,7 +52,8 @@ class TestIncastThroughput:
                     if wall > 0
                     else 0.0
                 ),
-                peak_rss_bytes=peak_rss_bytes(),
+                rss_before_bytes=rss_before,
+                rss_after_bytes=current_rss_bytes(),
                 exact=run.exact,
             )
             if best is None or measured.events_per_sec > best.events_per_sec:

@@ -255,6 +255,9 @@ class ErrorBoundTracker:
         state = engine._trees.get(tree_id)
         if state is None:
             return []
+        # Vectorized trees park part of each slot's value in a delta array
+        # until flush; fold it in before reading the cells.
+        state.materialize()
         value_cells = state.value_register._cells
         key_cells = state.key_register._cells
         pairs = [

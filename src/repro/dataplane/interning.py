@@ -1,0 +1,87 @@
+"""Global key interning for the vectorized register kernel.
+
+The vectorized data plane (see ``dataplane/README.md``) operates on *key
+ids* — small dense integers — instead of the key objects themselves, so a
+whole burst of key-value pairs can be hashed, occupancy-checked and
+scatter-added with numpy array operations. This module owns the process-wide
+``key -> kid`` mapping and the per-key metadata the fast paths need:
+
+* ``crc``      — ``zlib.crc32`` of the encoded key, so a register index is
+  one modulo away (``crc % slots``) without re-encoding the key,
+* ``enc_len``  — encoded byte length (packet sizing),
+* ``ends_nul`` — whether the encoded key ends in a NUL byte (the condition
+  that forces per-pair key-length bytes on the wire).
+
+Interning is append-only and process-global: kids are stable for the
+lifetime of the process, which is what lets immutable packets cache their
+kid arrays and per-tree state memoize ``kid -> register slot``. Only exact
+``str``/``bytes`` keys are interned — anything else makes a packet
+ineligible for the vectorized path and it falls back, per pair, to the
+bit-exact Algorithm 1 loop.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any
+
+#: key object -> kid (dense, append-only).
+_key_to_kid: dict[Any, int] = {}
+#: kid -> the interned key object (first object interned for that key).
+_kid_key: list[Any] = []
+#: kid -> crc32 of the encoded key.
+_kid_crc: list[int] = []
+#: kid -> encoded byte length of the key.
+_kid_enc_len: list[int] = []
+#: kid -> True when the encoded key ends in a NUL byte.
+_kid_ends_nul: list[bool] = []
+
+
+def intern_key(key: Any) -> int:
+    """Return the stable kid of ``key``, interning it on first sight.
+
+    Raises ``TypeError`` for keys that are not exact ``str``/``bytes`` —
+    callers treat that as "not vectorizable" and fall back to the per-pair
+    path, which supports anything the wire format supports.
+    """
+    kid = _key_to_kid.get(key)
+    if kid is not None:
+        return kid
+    if type(key) is str:
+        encoded = key.encode()
+    elif type(key) is bytes:
+        encoded = key
+    else:
+        raise TypeError(f"only str/bytes keys are interned, got {type(key).__name__}")
+    kid = len(_kid_key)
+    _key_to_kid[key] = kid
+    _kid_key.append(key)
+    _kid_crc.append(zlib.crc32(encoded))
+    _kid_enc_len.append(len(encoded))
+    _kid_ends_nul.append(encoded.endswith(b"\x00"))
+    return kid
+
+
+def key_of(kid: int) -> Any:
+    """The key object a kid stands for."""
+    return _kid_key[kid]
+
+
+def crc_of(kid: int) -> int:
+    """``zlib.crc32`` of a kid's encoded key (register index = crc % slots)."""
+    return _kid_crc[kid]
+
+
+def enc_len_of(kid: int) -> int:
+    """Encoded byte length of a kid's key."""
+    return _kid_enc_len[kid]
+
+
+def ends_nul_of(kid: int) -> bool:
+    """True when the kid's encoded key ends in a NUL byte."""
+    return _kid_ends_nul[kid]
+
+
+def pool_size() -> int:
+    """Number of kids interned so far (exclusive upper bound of every kid)."""
+    return len(_kid_key)

@@ -154,6 +154,8 @@ class ApproxRun:
     bytes_vs_exact: float = 1.0
     #: Simulator events the arm processed (perf-bench accounting).
     events: int = 0
+    #: Link-level packets the arm moved (perf-bench packet throughput).
+    link_packets: int = 0
 
 
 @dataclass
@@ -303,6 +305,7 @@ def _run_arm(
         bound=bound,
         bound_contains=bound.contains(error),
         events=events,
+        link_packets=stats.total_link_packets(),
     )
 
 

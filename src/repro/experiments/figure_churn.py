@@ -135,6 +135,10 @@ class ScenarioResult:
     notes: list[str] = field(default_factory=list)
     #: Simulator events processed across all of the scenario's runs.
     events: int = 0
+    #: Link-level packets moved across all of the scenario's runs
+    #: (perf-bench packet throughput; every arm uses a fresh simulator, so
+    #: per-run totals accumulate without double counting).
+    link_packets: int = 0
 
     def arm(self, name: str) -> ArmResult:
         """The named arm."""
@@ -247,6 +251,7 @@ class _Baseline:
     sim_seconds: float
     arm: ArmResult
     events: int
+    link_packets: int
 
 
 def run_fault_free(settings: ChurnSettings) -> _Baseline:
@@ -259,7 +264,11 @@ def run_fault_free(settings: ChurnSettings) -> _Baseline:
     if not arm.exact:
         raise ReproError("the fault-free churn baseline diverged from ground truth")
     return _Baseline(
-        truth=truth, sim_seconds=system.simulator.now, arm=arm, events=events
+        truth=truth,
+        sim_seconds=system.simulator.now,
+        arm=arm,
+        events=events,
+        link_packets=system.simulator.stats.total_link_packets(),
     )
 
 
@@ -274,6 +283,7 @@ def run_spine_kill(
     crash_time = settings.crash_fraction * baseline.sim_seconds
     result = ScenarioResult(scenario="spine-kill", arms=[baseline.arm])
     result.events += baseline.events
+    result.link_packets += baseline.link_packets
 
     # Static arm: no failover manager; the crash is absorbed as a bounded
     # deficit (reliability on terminates via the reducer's pull give-up).
@@ -282,6 +292,7 @@ def run_spine_kill(
     install_faults(system.simulator, FaultPlan().switch_crash(crash_time, spine))
     _send_all(settings, system)
     result.events += system.run()
+    result.link_packets += system.simulator.stats.total_link_packets()
     result.arms.append(_arm("static", system, baseline.truth))
 
     # Recover arm: heartbeat detection, reroute, re-plan, replay.
@@ -301,6 +312,7 @@ def run_spine_kill(
     manager.start()
     _send_all(settings, system)
     result.events += system.run()
+    result.link_packets += system.simulator.stats.total_link_packets()
     result.arms.append(_arm("recover", system, baseline.truth))
     result.control_log = list(manager.log)
     result.fault_log = list(injector.log)
@@ -318,6 +330,7 @@ def run_flap(
     duration = settings.flap_duration_fraction * baseline.sim_seconds
     result = ScenarioResult(scenario="flap", arms=[baseline.arm])
     result.events += baseline.events
+    result.link_packets += baseline.link_packets
     for seed in settings.flap_seeds:
         system, _job = _build(settings)
         plan = FaultPlan.random_flaps(
@@ -331,6 +344,7 @@ def run_flap(
         injector = install_faults(system.simulator, plan)
         _send_all(settings, system)
         result.events += system.run()
+        result.link_packets += system.simulator.stats.total_link_packets()
         arm = _arm(f"flap seed={seed}", system, baseline.truth)
         result.arms.append(arm)
         result.notes.append(
@@ -351,6 +365,7 @@ def run_straggler(
     slow_time = settings.slowdown_fraction * baseline.sim_seconds
     result = ScenarioResult(scenario="straggler", arms=[baseline.arm])
     result.events += baseline.events
+    result.link_packets += baseline.link_packets
 
     def _plan(spine: str) -> FaultPlan:
         plan = FaultPlan()
@@ -364,6 +379,7 @@ def run_straggler(
     install_faults(system.simulator, _plan(spine))
     _send_all(settings, system)
     result.events += system.run()
+    result.link_packets += system.simulator.stats.total_link_packets()
     result.arms.append(_arm("static", system, baseline.truth))
 
     # Recover arm: the injector observer stands in for slowdown telemetry;
@@ -382,6 +398,7 @@ def run_straggler(
     injector.observers.append(_on_fault)
     _send_all(settings, system)
     result.events += system.run()
+    result.link_packets += system.simulator.stats.total_link_packets()
     result.arms.append(_arm("recover", system, baseline.truth))
     result.control_log = list(manager.log)
     result.fault_log = list(injector.log)
@@ -435,7 +452,11 @@ def run_hotspot(settings: ChurnSettings) -> ScenarioResult:
             system.send_pairs(mapper, reducer, pairs)
     events = system.run()
 
-    result = ScenarioResult(scenario="hotspot", events=events)
+    result = ScenarioResult(
+        scenario="hotspot",
+        events=events,
+        link_packets=system.simulator.stats.total_link_packets(),
+    )
     for reducer in HOTSPOT_REDUCERS:
         result.arms.append(_arm(f"hotspot {reducer}", system, truth, reducer))
     result.control_log = list(manager.log)

@@ -243,6 +243,50 @@ class SwitchDevice(Device):
             and s2.steps[0] is self._fwd_tbl
         )
 
+    def _batch_tree_state(self, packet: Any) -> tuple[Any, Any] | None:
+        """Resolve ``(engine, state)`` for the vectorized batch delivery path.
+
+        Mirrors :meth:`deliver`'s shape guard and memoized steering
+        resolution (sharing ``_fast_cache``), then additionally requires the
+        tree state to exist and be vectorizable (``TreeState._vec``). Any
+        miss returns ``None`` and the caller delivers per packet, which
+        reproduces the generic behaviour exactly.
+        """
+        stages = self._sw_pipeline._stages
+        if len(stages) != 3:
+            return None
+        s0, s1, s2 = stages
+        if not (
+            len(s0.steps) == 1
+            and s0.steps[0] is _extract_packet_metadata
+            and len(s1.steps) == 1
+            and s1.steps[0] is self._daiet_tbl
+            and len(s2.steps) == 1
+            and s2.steps[0] is self._fwd_tbl
+        ):
+            return None
+        tree_id = packet.tree_id
+        table = self._daiet_tbl
+        cached = self._fast_cache.get(tree_id)
+        if cached is not None and cached[0] == table.version:
+            engine = cached[1]
+        else:
+            if table._unindexed:
+                engine = None
+            else:
+                entry = table._exact_index.get((("tree_id", tree_id),))
+                if entry is None:
+                    engine = _NO_STEERING_ENTRY
+                else:
+                    engine = self._steering_engine(entry)
+            self._fast_cache[tree_id] = (table.version, engine)
+        if engine is None or engine is _NO_STEERING_ENTRY:
+            return None
+        state = engine._trees.get(tree_id)
+        if state is None or not state._vec:
+            return None
+        return engine, state
+
     @fastpath("switch-delivery", oracle="tests/netsim/test_devices_stats.py")
     def deliver(self, packet: Any, ingress_port: int, nbytes: int) -> list[tuple[int, Any]]:
         """Process one packet whose wire size is already known.

@@ -313,6 +313,15 @@ class EventScheduler:
         #: would skew ``__len__``). Hot-path ``push_at`` events never enter
         #: this set, so the per-pop discard below is usually a no-op.
         self._pending_handles: set[int] = set()
+        #: callback -> batch handler. When ``run()`` pops an entry whose
+        #: callback has a registered handler, it delegates the entry — and
+        #: implicitly any same-callback entries at the queue head — to the
+        #: handler, which returns how many entries it consumed (>= 1). The
+        #: simulator registers its switch-delivery sinks here so a burst of
+        #: deliveries to one switch becomes one vectorized kernel call. The
+        #: dict is mutated in place (cleared/refilled on topology rebuilds)
+        #: so the alias held by a running ``run()`` loop stays current.
+        self._batch_handlers: dict[Callable[..., None], Any] = {}
         self._seq = 0
         self.now = 0.0
         self.events_executed = 0
@@ -505,6 +514,7 @@ class EventScheduler:
         """
         executed = 0
         pending = self._pending_handles
+        batch = self._batch_handlers
         bounded = max_events is not None
         timed = until is not None
         try:
@@ -536,6 +546,15 @@ class EventScheduler:
                             # cancel() of its handle must be a no-op, not
                             # queue litter.
                             pending.discard(seq)
+                        if batch and (handler := batch.get(callback)) is not None:
+                            self.now = time
+                            executed += handler(
+                                time,
+                                args,
+                                until,
+                                max_events - executed if bounded else None,
+                            )
+                            continue
                         self.now = time
                         callback(*args)
                         executed += 1
@@ -560,6 +579,15 @@ class EventScheduler:
                     time, seq, callback, args = entry
                     if pending:
                         pending.discard(seq)
+                    if batch and (handler := batch.get(callback)) is not None:
+                        self.now = time
+                        executed += handler(
+                            time,
+                            args,
+                            until,
+                            max_events - executed if bounded else None,
+                        )
+                        continue
                     self.now = time
                     callback(*args)
                     executed += 1
@@ -578,6 +606,7 @@ class EventScheduler:
         self._cal = None
         self._cancelled.clear()
         self._pending_handles.clear()
+        self._batch_handlers.clear()
         self.now = 0.0
         self.events_executed = 0
 

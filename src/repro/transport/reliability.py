@@ -260,8 +260,9 @@ class _TreeReceiveState:
     policy: str = "exact"
     windows: dict[str, SeenWindow] = field(default_factory=dict)
     since_ack: dict[str, int] = field(default_factory=dict)
-    #: Fresh packets per child that arrived ECN-marked since the last ACK;
-    #: echoed (and reset) on every ACK so the sender sees the mark rate.
+    #: Fresh packets per child that arrived ECN-marked since the last ACK.
+    #: A marked arrival forces an immediate ACK and each ACK echoes at most
+    #: one mark (DCTCP cadence); leftovers drain on subsequent ACKs.
     ecn_since_ack: dict[str, int] = field(default_factory=dict)
     ended: set[str] = field(default_factory=set)
     pending_end: dict[str, DaietPacket] = field(default_factory=dict)
@@ -479,6 +480,7 @@ class HostReliabilityAgent:
             self._send_ack(state, src)
         elif (
             packet.packet_type is DaietPacketType.END
+            or packet.ecn
             or fresh_gap
             or state.since_ack.get(src, 0) >= self._ack_window_for(state)
         ):
@@ -509,9 +511,14 @@ class HostReliabilityAgent:
         window = state.windows.setdefault(src, SeenWindow())
         cumulative, sack = window.ack_state()
         state.since_ack[src] = 0
-        echo = state.ecn_since_ack.get(src, 0)
-        if echo:
-            state.ecn_since_ack[src] = 0
+        # One mark per ACK, per the DCTCP spec: a burst of CE-marked packets
+        # drains one echo at a time over subsequent ACKs instead of being
+        # batched into a single inflated echo count.
+        pending = state.ecn_since_ack.get(src, 0)
+        echo = 0
+        if pending:
+            echo = 1
+            state.ecn_since_ack[src] = pending - 1
         ack = DaietAck(
             tree_id=state.tree_id,
             src=self.host,

@@ -260,7 +260,10 @@ class ReliableUdpTransport(UdpTransport):
                     inner = MessagePayload(kind="raw", data=inner)
                 app(src, inner)
         self._since_ack[key] = self._since_ack.get(key, 0) + 1
-        if not fresh or self._since_ack[key] >= self.ack_window:
+        # A CE-marked arrival is acknowledged immediately (DCTCP cadence):
+        # the sender's mark-fraction estimate needs the echo now, not after
+        # the delayed-ACK window fills.
+        if not fresh or self._rx_ecn or self._since_ack[key] >= self.ack_window:
             self._send_ack(host, src, port, window)
         else:
             # Delayed ACK for the stream tail: datagrams short of a full
@@ -283,9 +286,13 @@ class ReliableUdpTransport(UdpTransport):
         cumulative, sack = window.ack_state()
         key = (host, peer, port)
         self._since_ack[key] = 0
-        echo = self._ecn_since_ack.get(key, 0)
-        if echo:
-            self._ecn_since_ack[key] = 0
+        # One mark per ACK, per the DCTCP spec; leftover marks drain on
+        # subsequent ACKs rather than batching into one echo count.
+        pending = self._ecn_since_ack.get(key, 0)
+        echo = 0
+        if pending:
+            echo = 1
+            self._ecn_since_ack[key] = pending - 1
         timer = self._delayed_acks.get(key)
         if timer is not None:
             timer.cancel()

@@ -1,0 +1,147 @@
+"""Twin-run equivalence for the compiled switch delivery fast paths.
+
+Two fast paths bypass per-event dispatch on the DAIET hot path:
+
+* ``switch-batch-delivery`` — consecutive per-packet queue entries bound
+  for one switch are drained in a single handler call, and
+* ``switch-burst-delivery`` — a whole send window rides ONE queue entry
+  carrying a send-time precomputed :class:`_BurstPlan`; the handler merges
+  concurrent bursts by ``(time, seq)`` and feeds the pair arrays straight
+  into the vectorized register kernel.
+
+Disabling both (clearing the scheduler's batch-handler registry and the
+``_fast_burst`` gate) must change *nothing* observable: aggregation
+results, TrafficStats, per-tree counters, event totals and simulated time.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import DaietConfig
+from repro.core.daiet import DaietSystem
+
+np = pytest.importorskip("numpy")
+
+
+def wordcount_system(
+    fast: bool,
+    num_mappers: int = 6,
+    pairs_per_mapper: int = 300,
+    vocabulary: int = 80,
+    reliability: bool = False,
+    seed: int = 2017,
+):
+    config = DaietConfig(
+        register_slots=128, pairs_per_packet=10, reliability=reliability
+    )
+    system = DaietSystem.single_rack(num_hosts=num_mappers + 1, config=config)
+    if not fast:
+        # Stand the fast paths down: no burst plans are built and queue
+        # entries are popped and dispatched one at a time.
+        system.simulator._fast_burst = False
+        system.simulator.scheduler._batch_handlers.clear()
+    mappers = [f"h{i}" for i in range(num_mappers)]
+    reducer = f"h{num_mappers}"
+    system.install_job(mappers=mappers, reducers=[reducer])
+    rng = random.Random(seed)
+    truth: dict[str, int] = {}
+    for mapper in mappers:
+        pairs = [
+            (f"word{rng.randrange(vocabulary)}", rng.randrange(-50, 50))
+            for _ in range(pairs_per_mapper)
+        ]
+        for key, value in pairs:
+            truth[key] = truth.get(key, 0) + value
+        system.send_pairs(mapper, reducer, pairs)
+    return system, reducer, truth
+
+
+def observables(system: DaietSystem, reducer: str, events: int) -> dict:
+    engine = system.engine("tor")
+    return {
+        "events": events,
+        "now": system.simulator.now,
+        "result": system.receiver(reducer).result(),
+        "done": system.receiver(reducer).done,
+        "stats": system.simulator.stats.snapshot(),
+        "counters": {t: engine.tree(t).counters for t in engine.tree_ids()},
+        "receiver": system.receiver(reducer).counters,
+    }
+
+
+class TestBatchDeliveryEquivalence:
+    @pytest.mark.parametrize("reliability", [False, True])
+    def test_fast_and_slow_runs_identical(self, reliability):
+        fast_sys, reducer, truth = wordcount_system(True, reliability=reliability)
+        fast_events = fast_sys.run()
+        slow_sys, _, _ = wordcount_system(False, reliability=reliability)
+        slow_events = slow_sys.run()
+        fast_obs = observables(fast_sys, reducer, fast_events)
+        slow_obs = observables(slow_sys, reducer, slow_events)
+        assert fast_obs == slow_obs
+        assert fast_obs["result"] == truth
+
+    def test_collision_heavy_tree_identical(self):
+        # Tiny registers force in-flight spillover flushes, whose emission
+        # packets must interleave with the burst at identical times.
+        config = DaietConfig(register_slots=8, pairs_per_packet=4)
+        results = []
+        for fast in (True, False):
+            system = DaietSystem.single_rack(num_hosts=4, config=config)
+            if not fast:
+                system.simulator._fast_burst = False
+                system.simulator.scheduler._batch_handlers.clear()
+            system.install_job(mappers=["h0", "h1", "h2"], reducers=["h3"])
+            rng = random.Random(5)
+            for mapper in ("h0", "h1", "h2"):
+                system.send_pairs(
+                    mapper,
+                    "h3",
+                    [(f"k{rng.randrange(40)}", 1) for _ in range(120)],
+                )
+            events = system.run()
+            results.append(observables(system, "h3", events))
+        assert results[0] == results[1]
+
+    def test_vector_ineligible_packets_identical(self):
+        # Bool values are outside the kernel's domain: the plan marks those
+        # packets ineligible and they ride the per-item path mid-burst.
+        config = DaietConfig(register_slots=32, pairs_per_packet=2)
+        results = []
+        for fast in (True, False):
+            system = DaietSystem.single_rack(num_hosts=3, config=config)
+            if not fast:
+                system.simulator._fast_burst = False
+                system.simulator.scheduler._batch_handlers.clear()
+            system.install_job(mappers=["h0", "h1"], reducers=["h2"])
+            for mapper in ("h0", "h1"):
+                system.send_pairs(
+                    mapper,
+                    "h2",
+                    [("a", 1), ("b", True), ("a", 2), ("c", True), ("b", 3)],
+                )
+            events = system.run()
+            results.append(observables(system, "h2", events))
+        assert results[0] == results[1]
+        assert results[0]["result"] == {"a": 6, "b": 8, "c": 2}
+
+    def test_until_bound_cuts_burst_identically(self):
+        # A run(until=...) bound lands inside the burst window; the burst
+        # handler must stop at the same packet the per-item schedule would.
+        fast_sys, reducer, _ = wordcount_system(True, num_mappers=3)
+        slow_sys, _, _ = wordcount_system(False, num_mappers=3)
+        until = 2e-6  # mid-burst for 30 packets on the default link speed
+        fast_events = fast_sys.run(until=until)
+        slow_events = slow_sys.run(until=until)
+        assert observables(fast_sys, reducer, fast_events) == observables(
+            slow_sys, reducer, slow_events
+        )
+        # ... and finishing the run afterwards still converges identically.
+        fast_events = fast_sys.run()
+        slow_events = slow_sys.run()
+        assert observables(fast_sys, reducer, fast_events) == observables(
+            slow_sys, reducer, slow_events
+        )

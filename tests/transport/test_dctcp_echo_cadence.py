@@ -1,0 +1,202 @@
+"""Scripted-trace oracle for the DCTCP mark-echo cadence.
+
+The DCTCP spec requires two things of a receiver observing CE marks:
+
+* a marked arrival is acknowledged *immediately* (the sender's
+  mark-fraction estimator needs the echo now, not after the delayed-ACK
+  window fills), and
+* each ACK echoes at most *one* mark — a backlog of marks drains one echo
+  per ACK over subsequent ACKs instead of being batched into a single
+  inflated echo count.
+
+These tests replay fixed packet traces against all three receiver
+implementations (host reliability agent, switch aggregation engine,
+reliable UDP transport) and assert the exact per-ACK echo sequence.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import DaietConfig
+from repro.core.packet import DaietAck, DaietPacket, DaietPacketType
+from repro.netsim.simulator import NetworkSimulator, SimulatorConfig
+from repro.netsim.topology import Topology
+from repro.transport.packets import MessagePayload
+from repro.transport.reliability import HostReliabilityAgent
+from repro.transport.udp import ReliableUdpTransport
+
+
+def rack(num_hosts: int = 2) -> Topology:
+    topo = Topology(name="dctcp_rack")
+    topo.add_switch("tor")
+    for i in range(num_hosts):
+        topo.add_host(f"h{i}")
+        topo.connect(f"h{i}", "tor")
+    topo.validate()
+    return topo
+
+
+CONFIG = DaietConfig(pairs_per_packet=4, reliability=True)
+
+
+def data_packet(seq: int, ecn: bool) -> DaietPacket:
+    return DaietPacket(
+        tree_id=1,
+        src="h0",
+        dst="h1",
+        packet_type=DaietPacketType.DATA,
+        pairs=((f"k{seq}", 1),),
+        config=CONFIG,
+        seq=seq,
+        ecn=ecn,
+    )
+
+
+class TestHostAgentEchoCadence:
+    """Trace oracle for ``HostReliabilityAgent._receive_sequenced``."""
+
+    def make_receiver(self, ack_window: int = 4):
+        sim = NetworkSimulator(rack(), SimulatorConfig())
+        agent = HostReliabilityAgent(
+            sim,
+            "h1",
+            ack_window=ack_window,
+            retransmit_timeout=1e-4,
+            max_retransmits=30,
+        )
+        agent.attach_tree(1, children=["h0"], inner=lambda packet: None)
+        acks: list[DaietAck] = []
+        original_send = sim.send
+
+        def capture(host: str, packet) -> None:
+            if isinstance(packet, DaietAck):
+                acks.append(packet)
+                return
+            original_send(host, packet)
+
+        sim.send = capture
+        return agent, acks
+
+    def test_marked_packet_acked_immediately_with_one_echo(self):
+        agent, acks = self.make_receiver(ack_window=4)
+        agent.receive(data_packet(0, ecn=False))
+        assert acks == []  # below the ACK window, nothing marked
+        agent.receive(data_packet(1, ecn=True))
+        assert len(acks) == 1  # the mark forces an immediate ACK
+        assert acks[0].ecn_echo == 1
+
+    def test_mark_burst_echoes_one_per_ack(self):
+        agent, acks = self.make_receiver(ack_window=8)
+        for seq in range(3):
+            agent.receive(data_packet(seq, ecn=True))
+        # Every marked arrival produced its own ACK carrying exactly one
+        # echo — the old behaviour was one delayed ACK with ecn_echo == 3.
+        assert [ack.ecn_echo for ack in acks] == [1, 1, 1]
+
+    def test_duplicate_ack_does_not_re_echo(self):
+        agent, acks = self.make_receiver(ack_window=8)
+        agent.receive(data_packet(0, ecn=True))
+        assert [ack.ecn_echo for ack in acks] == [1]
+        # Retransmitted copy of the marked packet: the duplicate triggers an
+        # ACK, but the mark was already echoed and must not count twice.
+        agent.receive(data_packet(0, ecn=True))
+        assert [ack.ecn_echo for ack in acks] == [1, 0]
+
+    def test_mark_backlog_drains_one_echo_per_ack(self):
+        agent, acks = self.make_receiver(ack_window=2)
+        agent.receive(data_packet(0, ecn=True))
+        # Simulate a mark backlog (e.g. marks raced a single delayed ACK):
+        # subsequent window-driven ACKs drain it one echo at a time.
+        state = agent._recv[1]
+        state.ecn_since_ack["h0"] = 3
+        for seq in range(1, 9):
+            agent.receive(data_packet(seq, ecn=False))
+        echoes = [ack.ecn_echo for ack in acks]
+        assert echoes[0] == 1  # the immediate ACK for the marked packet
+        assert all(echo <= 1 for echo in echoes)
+        assert echoes[1:] == [1, 1, 1, 0]  # backlog of 3 drains, then clean
+
+
+class TestSwitchEngineEchoCadence:
+    """Trace oracle for the switch-side ACK builder in the aggregation engine."""
+
+    def make_engine(self):
+        from repro.core.aggregation import DaietAggregationEngine
+
+        engine = DaietAggregationEngine("tor")
+        engine.configure_tree(
+            tree_id=1,
+            function="sum",
+            num_children=1,
+            egress_port=0,
+            next_hop_dst="h1",
+            config=CONFIG,
+            child_ports={"h0": 1},
+        )
+        return engine
+
+    def test_marked_data_acked_immediately_with_one_echo(self):
+        engine = self.make_engine()
+        emitted = engine.handle_packet(data_packet(0, ecn=True))
+        acks = [pkt for _port, pkt in emitted if isinstance(pkt, DaietAck)]
+        assert len(acks) == 1
+        assert acks[0].ecn_echo == 1
+
+    def test_switch_ack_never_batches_echoes(self):
+        engine = self.make_engine()
+        echoes = []
+        for seq in range(4):
+            emitted = engine.handle_packet(data_packet(seq, ecn=seq % 2 == 0))
+            echoes.extend(
+                pkt.ecn_echo for _port, pkt in emitted if isinstance(pkt, DaietAck)
+            )
+        assert echoes and all(echo <= 1 for echo in echoes)
+        # Two marked packets → exactly two echoes across the whole trace.
+        assert sum(echoes) == 2
+
+
+class TestReliableUdpEchoCadence:
+    """Trace oracle for ``ReliableUdpTransport._handle_data``."""
+
+    def make_transport(self, ack_window: int = 4):
+        sim = NetworkSimulator(rack(), SimulatorConfig())
+        transport = ReliableUdpTransport(sim, ack_window=ack_window)
+        transport.listen_reliable("h1", 9, lambda src, payload: None)
+        echoes: list[int] = []
+        original = transport.send_datagram
+
+        def capture(host, dst, payload, size, sport=0, dport=0):
+            if isinstance(payload, MessagePayload) and payload.kind == "udp-rel-ack":
+                echoes.append(payload.meta["ecn"])
+                return 1
+            return original(host, dst, payload, size, sport=sport, dport=dport)
+
+        transport.send_datagram = capture
+        return transport, echoes
+
+    def deliver(self, transport, seq: int, ecn: bool) -> None:
+        payload = MessagePayload(
+            kind="udp-rel-data",
+            data=MessagePayload(kind="raw", data=seq),
+            meta={"seq": seq},
+        )
+        transport._rx_ecn = ecn
+        transport._handle_data("h1", 9, "h0", payload)
+
+    def test_marked_datagram_acked_immediately(self):
+        transport, echoes = self.make_transport(ack_window=4)
+        self.deliver(transport, 0, ecn=False)
+        assert echoes == []
+        self.deliver(transport, 1, ecn=True)
+        assert echoes == [1]
+
+    def test_udp_mark_burst_one_echo_per_ack(self):
+        transport, echoes = self.make_transport(ack_window=8)
+        for seq in range(3):
+            self.deliver(transport, seq, ecn=True)
+        assert echoes == [1, 1, 1]
+
+    def test_udp_duplicate_does_not_re_echo(self):
+        transport, echoes = self.make_transport(ack_window=8)
+        self.deliver(transport, 0, ecn=True)
+        self.deliver(transport, 0, ecn=True)
+        assert echoes == [1, 0]
